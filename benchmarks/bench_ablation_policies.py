@@ -1,0 +1,36 @@
+"""E6 — allocation policies across load levels.
+
+Sweeps the network processor's load scale and compares uniform,
+proportional, analytic-greedy and CTMDP sizing.  Shape expectation: the
+CTMDP allocation is competitive at every load and strongest where the
+budget actually binds.
+"""
+
+import pytest
+
+from repro.experiments import run_policy_sweep
+
+_cache = {}
+
+
+def _run():
+    if "result" not in _cache:
+        _cache["result"] = run_policy_sweep(
+            load_scales=(0.8, 1.0, 1.2),
+            budget=160,
+            replications=2,
+            duration=600.0,
+        )
+    return _cache["result"]
+
+
+def test_policy_sweep(benchmark):
+    result = benchmark.pedantic(_run, iterations=1, rounds=1)
+    print()
+    print(result.render())
+    totals = result.totals()
+    # CTMDP must beat the naive uniform baseline at the heaviest load.
+    assert totals["ctmdp"][-1] <= totals["uniform"][-1] * 1.25, (
+        "CTMDP sizing should be competitive at high load: "
+        f"ctmdp={totals['ctmdp'][-1]:.1f} uniform={totals['uniform'][-1]:.1f}"
+    )

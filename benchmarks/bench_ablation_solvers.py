@@ -1,0 +1,53 @@
+"""E5 — LP vs relative value iteration vs policy iteration.
+
+The occupation-measure LP is the method the paper relies on; this
+ablation certifies it against two independent dynamic-programming
+solvers on random unconstrained bus instances (they must agree to
+numerical precision) and times each solver on a fixed instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
+from repro.core.dp import policy_iteration, relative_value_iteration
+from repro.core.lp import AverageCostLP
+from repro.experiments import run_solver_agreement
+
+
+def fixed_instance():
+    clients = [
+        BusClient("a", 1.2, 2.5, 3, loss_weight=2.0),
+        BusClient("b", 0.8, 1.9, 3, loss_weight=1.0),
+        BusClient("c", 0.5, 2.2, 2, loss_weight=3.0),
+    ]
+    return build_joint_bus_ctmdp(clients)
+
+
+def test_solver_agreement_report(benchmark):
+    result = benchmark.pedantic(
+        run_solver_agreement, kwargs={"instances": 8, "seed": 0},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(result.render())
+    assert result.max_lp_vi_gap < 1e-5
+    assert result.max_lp_pi_gap < 1e-5
+
+
+def test_bench_lp(benchmark):
+    model = fixed_instance()
+    solution = benchmark(lambda: AverageCostLP(model).solve())
+    assert solution.objective >= 0
+
+
+def test_bench_value_iteration(benchmark):
+    model = fixed_instance()
+    solution = benchmark(lambda: relative_value_iteration(model, tol=1e-9))
+    assert solution.average_cost_rate >= 0
+
+
+def test_bench_policy_iteration(benchmark):
+    model = fixed_instance()
+    solution = benchmark(lambda: policy_iteration(model))
+    assert solution.average_cost_rate >= 0

@@ -1,0 +1,36 @@
+"""E7 — burstiness extension: Poisson-sized allocation under bursty load.
+
+The paper's conclusion attributes its residual gap to traffic profiling;
+this bench quantifies the claim by driving the Poisson-sized allocation
+with on-off traffic of identical mean rate and rising interarrival SCV,
+alongside the GI/M/1 two-moment prediction of the buffer inflation that
+would compensate.
+"""
+
+import pytest
+
+from repro.experiments.extensions import run_burstiness
+
+_cache = {}
+
+
+def _run():
+    if "result" not in _cache:
+        _cache["result"] = run_burstiness(
+            scv_levels=(2.0, 4.0),
+            budget=160,
+            replications=2,
+            duration=600.0,
+        )
+    return _cache["result"]
+
+
+def test_burstiness_extension(benchmark):
+    result = benchmark.pedantic(_run, iterations=1, rounds=1)
+    print()
+    print(result.render())
+    # Loss grows with burstiness.
+    assert result.losses[-1] >= result.poisson_loss
+    # And the analytic buffer-inflation prediction grows with SCV.
+    inflations = result.predicted_buffer_inflation
+    assert all(b >= a for a, b in zip(inflations, inflations[1:]))

@@ -1,0 +1,40 @@
+"""E8 — weighted-loss extension.
+
+Section 3: "allowing some losses to be more important than the others".
+This bench marks two processors critical, re-sizes with their losses
+up-weighted, deploys the implied service-priority arbitration, and
+verifies the critical processors' losses drop relative to the neutral
+configuration (while total loss may rise — the price of protection).
+"""
+
+import pytest
+
+from repro.experiments.extensions import run_weighted_loss
+
+_cache = {}
+
+
+def _run():
+    if "result" not in _cache:
+        _cache["result"] = run_weighted_loss(
+            critical=("p1", "p16"),
+            weight=8.0,
+            budget=160,
+            replications=3,
+            duration=800.0,
+        )
+    return _cache["result"]
+
+
+def test_weighted_loss_extension(benchmark):
+    result = benchmark.pedantic(_run, iterations=1, rounds=1)
+    print()
+    print(result.render())
+    # The weighted configuration must protect the critical processors.
+    assert result.critical_loss_weighted <= (
+        result.critical_loss_unweighted + 1.0
+    ), (
+        f"critical loss should drop: "
+        f"{result.critical_loss_unweighted:.1f} -> "
+        f"{result.critical_loss_weighted:.1f}"
+    )

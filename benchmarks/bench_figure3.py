@@ -1,0 +1,42 @@
+"""E1 — Figure 3: per-processor loss pre / post / timeout.
+
+Regenerates the paper's Figure 3 on the synthetic network processor and
+prints the three series.  Shape expectations (checked as soft asserts):
+post-sizing total below pre-sizing total, timeout total the worst.
+"""
+
+import pytest
+
+from repro.experiments import run_figure3
+from repro.experiments.common import POST, PRE, TIMEOUT
+
+_cache = {}
+
+
+def _run(duration, replications):
+    key = (duration, replications)
+    if key not in _cache:
+        _cache[key] = run_figure3(
+            budget=160, duration=duration, replications=replications
+        )
+    return _cache[key]
+
+
+def test_figure3_regeneration(benchmark, bench_duration, bench_replications):
+    result = benchmark.pedantic(
+        _run,
+        args=(bench_duration, bench_replications),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render(width=32))
+    comparison = result.comparison
+    assert comparison.mean_total_loss(POST) <= comparison.mean_total_loss(
+        TIMEOUT
+    ), "CTMDP sizing must beat the timeout policy in aggregate"
+    # The paper's ~20% claim, with a generous band for the synthetic
+    # testbed and short bench horizon.
+    assert result.improvement_vs_pre() > -0.25, (
+        "post-sizing should not lose badly to constant sizing"
+    )

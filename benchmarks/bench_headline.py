@@ -1,0 +1,40 @@
+"""E3 — the headline aggregate claims of Section 3.
+
+"the overall loss of the system decreases by about 20% as compared to
+the constant buffer sizing policy and 50% for the timeout policy."
+Shape expectations: positive improvement over both baselines, with the
+timeout improvement the larger of the two.
+"""
+
+import pytest
+
+from repro.experiments import run_headline
+
+_cache = {}
+
+
+def _run(duration, replications):
+    key = (duration, replications)
+    if key not in _cache:
+        _cache[key] = run_headline(
+            budget=160, duration=duration, replications=replications
+        )
+    return _cache[key]
+
+
+def test_headline_regeneration(benchmark, bench_duration, bench_replications):
+    result = benchmark.pedantic(
+        _run,
+        args=(bench_duration, bench_replications),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render())
+    assert result.improvement_vs_timeout > 0.2, (
+        "CTMDP sizing must clearly beat the timeout policy "
+        f"(got {result.improvement_vs_timeout:.1%})"
+    )
+    assert (
+        result.improvement_vs_timeout > result.improvement_vs_constant
+    ), "the timeout baseline should be the weaker of the two (paper: 50% vs 20%)"

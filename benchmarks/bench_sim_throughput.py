@@ -1,0 +1,35 @@
+"""Infrastructure bench: discrete-event simulator throughput.
+
+Not a paper artefact — tracks the events-per-second of the simulator so
+performance regressions in the substrate are visible in benchmark runs.
+"""
+
+import pytest
+
+from repro.arch.netproc import network_processor
+from repro.policies.uniform import UniformSizing
+from repro.sim.runner import simulate
+
+
+def test_simulator_throughput(benchmark):
+    topology = network_processor()
+    capacities = UniformSizing().allocate(topology, 160).as_capacities()
+
+    def run():
+        return simulate(topology, capacities, duration=400.0, seed=3)
+
+    result = benchmark(run)
+    assert result.total_offered > 0
+
+
+def test_sizing_throughput(benchmark):
+    """End-to-end CTMDP sizing latency on the full testbed."""
+    from repro.core.sizing import BufferSizer
+
+    topology = network_processor()
+
+    def run():
+        return BufferSizer(total_budget=160).size(topology)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert result.allocation.total == 160

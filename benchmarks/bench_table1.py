@@ -1,0 +1,46 @@
+"""E2 — Table 1: pre/post loss under total buffer 160 / 320 / 640.
+
+Regenerates the paper's Table 1 on the synthetic network processor.
+Shape expectations: post-sizing losses shrink as the budget grows and
+are (near) zero at 640; at 160 redistribution helps much less.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.experiments.common import POST, PRE
+from repro.experiments.table1 import PAPER_BUDGETS, PAPER_PROCESSORS
+
+_cache = {}
+
+
+def _run(duration, replications):
+    key = (duration, replications)
+    if key not in _cache:
+        _cache[key] = run_table1(
+            budgets=PAPER_BUDGETS,
+            duration=duration,
+            replications=replications,
+        )
+    return _cache[key]
+
+
+def test_table1_regeneration(benchmark, bench_duration, bench_replications):
+    result = benchmark.pedantic(
+        _run,
+        args=(bench_duration, bench_replications),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.render(PAPER_PROCESSORS))
+    # Post-sizing totals decrease with budget (paper: down to zero at 640).
+    totals = [result.total(b, POST) for b in PAPER_BUDGETS]
+    assert totals[0] >= totals[1] >= totals[2], (
+        f"post-sizing loss must fall with budget, got {totals}"
+    )
+    # At the largest budget post-sizing loss is essentially gone.
+    offered_scale = result.total(PAPER_BUDGETS[0], PRE) + 1.0
+    assert totals[-1] <= 0.05 * offered_scale, (
+        f"loss at budget 640 should be near zero, got {totals[-1]}"
+    )

@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures; each prints the
+reproduced artefact once (rows/series as the paper reports them) and
+times the regeneration via pytest-benchmark.  Horizons and replication
+counts are reduced from the experiment defaults so the full bench suite
+runs in minutes; the experiment drivers accept larger values for
+publication-grade runs (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+#: Simulation horizon used by bench runs (experiment default: 3000).
+BENCH_DURATION = 800.0
+#: Replications used by bench runs (paper: 10).
+BENCH_REPLICATIONS = 3
+
+
+@pytest.fixture(scope="session")
+def bench_duration():
+    return BENCH_DURATION
+
+
+@pytest.fixture(scope="session")
+def bench_replications():
+    return BENCH_REPLICATIONS

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Bridge buffer insertion on an AMBA-like AHB/APB system.
+
+Demonstrates the paper's central idea on the bus architecture it cites
+("a typical example in the AMBA and CoreConnect systems"): the AHB-APB
+bridge couples the two buses, the naive coupled formulation is quadratic,
+and splitting with an inserted bridge buffer makes everything linear.
+
+The example shows (1) the nonlinearity diagnostics of the naive
+formulation, (2) the split subsystems and where buffers are inserted,
+(3) the sizing result and how much buffer the bridge itself deserves.
+
+Run:  python examples/bridged_amba.py
+"""
+
+from repro.arch import amba_like
+from repro.core import BufferSizer, QuadraticCoupledSizer, split
+from repro.sim import simulate
+
+BUDGET = 18
+
+
+def main() -> None:
+    topology = amba_like()
+    print(f"architecture: {topology!r}")
+
+    # 1. The naive coupled formulation (what the paper could not solve).
+    diag = QuadraticCoupledSizer(capacity=2, max_iter=100).solve(topology)
+    print("\nnaive coupled formulation:")
+    print(f"  variables:          {diag.num_variables}")
+    print(f"  bilinear terms:     {diag.num_bilinear_terms}")
+    print(f"  solver success:     {diag.success}")
+    print(f"  solver message:     {diag.message}")
+    print(f"  max residual:       {diag.max_residual:.3g}")
+
+    # 2. The split: subsystems separated by inserted bridge buffers.
+    system = split(topology, capacity_cap=6)
+    print("\nsplit subsystems:")
+    for sub in system.subsystems:
+        names = [c.name for c in sub.clients]
+        print(f"  cluster {sorted(sub.cluster)}: clients {names}")
+
+    # 3. Size and resimulate.
+    result = BufferSizer(total_budget=BUDGET).size(topology)
+    print(f"\nCTMDP allocation (budget {BUDGET}):")
+    for name, size in sorted(result.allocation.sizes.items()):
+        print(f"  {name:14s}: {size}")
+    sim = simulate(
+        topology, result.allocation.as_capacities(),
+        duration=10_000.0, seed=7,
+    )
+    print(f"\nsimulated loss rate:  {sim.total_loss_rate():.4f}/time "
+          f"({sim.loss_fraction():.2%} of offered)")
+    print(f"predicted (thinning): {result.predicted_total_loss_rate():.4f}/time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Compare every allocation policy across load levels.
+
+Sweeps the network processor's offered load and reports the total loss
+of uniform, proportional, analytic-greedy and CTMDP sizing — the E6
+ablation of DESIGN.md in example form.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.experiments import run_policy_sweep
+
+BUDGET = 160
+LOADS = (0.8, 1.0, 1.2)
+
+
+def main() -> None:
+    result = run_policy_sweep(
+        load_scales=LOADS,
+        budget=BUDGET,
+        replications=3,
+        duration=1_000.0,
+    )
+    print(result.render())
+    print()
+    totals = result.totals()
+    best_at_nominal = min(totals, key=lambda name: totals[name][1])
+    print(f"best policy at nominal load: {best_at_nominal}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""ASCII rendering of tables and Figure 3-style bar charts.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells for "
+                f"{len(headers)} headers"
+            )
+        rendered_rows.append(
+            [
+                f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Dict[str, Dict[str, float]],
+    categories: Sequence[str],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal grouped bar chart (Figure 3 in ASCII).
+
+    Parameters
+    ----------
+    series:
+        ``series name -> {category -> value}`` (e.g. policy -> processor
+        -> mean loss).
+    categories:
+        Category order (e.g. processors p1..p17).
+    width:
+        Character width of the longest bar.
+    """
+    if not series:
+        raise ReproError("bar chart needs at least one series")
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    peak = max(
+        (values.get(cat, 0.0) for values in series.values() for cat in categories),
+        default=0.0,
+    )
+    scale = width / peak if peak > 0 else 0.0
+    label_width = max((len(c) for c in categories), default=0)
+    series_width = max(len(s) for s in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for cat in categories:
+        for i, (name, values) in enumerate(series.items()):
+            value = values.get(cat, 0.0)
+            bar = "#" * int(round(value * scale))
+            prefix = cat.ljust(label_width) if i == 0 else " " * label_width
+            lines.append(
+                f"{prefix} {name.ljust(series_width)} |{bar} {value:.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

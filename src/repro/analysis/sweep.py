@@ -1,0 +1,82 @@
+"""Parameter sweeps: budget (Table 1) and load (ablation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.loss import PolicyComparison, compare_policies
+from repro.arch.topology import Topology
+from repro.core.sizing import BufferAllocation
+from repro.errors import ReproError
+
+
+@dataclass
+class SweepPoint:
+    """One sweep configuration and its comparison results."""
+
+    parameter: float
+    comparison: PolicyComparison
+
+
+def budget_sweep(
+    topology: Topology,
+    budgets: Sequence[int],
+    policy_factories: Dict[str, Callable[[], object]],
+    replications: int = 10,
+    duration: float = 3_000.0,
+    base_seed: int = 0,
+) -> List[SweepPoint]:
+    """Re-size and re-simulate at several total budgets (Table 1's axis).
+
+    ``policy_factories`` maps policy names to zero-argument callables
+    returning fresh policy objects (fresh because CTMDP sizing caches its
+    last result).
+    """
+    if not budgets:
+        raise ReproError("budget sweep needs at least one budget")
+    points: List[SweepPoint] = []
+    for budget in budgets:
+        allocations: Dict[str, BufferAllocation] = {}
+        for name, factory in policy_factories.items():
+            policy = factory()
+            allocations[name] = policy.allocate(topology, int(budget))
+        comparison = compare_policies(
+            topology,
+            allocations,
+            replications=replications,
+            duration=duration,
+            base_seed=base_seed,
+        )
+        points.append(SweepPoint(parameter=float(budget), comparison=comparison))
+    return points
+
+
+def load_sweep(
+    topology_factory: Callable[[float], Topology],
+    load_scales: Sequence[float],
+    budget: int,
+    policy_factories: Dict[str, Callable[[], object]],
+    replications: int = 5,
+    duration: float = 2_000.0,
+    base_seed: int = 0,
+) -> List[SweepPoint]:
+    """Sweep offered load at a fixed budget (policy-robustness ablation)."""
+    if not load_scales:
+        raise ReproError("load sweep needs at least one scale")
+    points: List[SweepPoint] = []
+    for scale in load_scales:
+        topology = topology_factory(float(scale))
+        allocations = {
+            name: factory().allocate(topology, budget)
+            for name, factory in policy_factories.items()
+        }
+        comparison = compare_policies(
+            topology,
+            allocations,
+            replications=replications,
+            duration=duration,
+            base_seed=base_seed,
+        )
+        points.append(SweepPoint(parameter=float(scale), comparison=comparison))
+    return points

@@ -1,0 +1,128 @@
+"""Cross-validation of the simulator against the analytic substrate.
+
+The simulator and the queueing formulas implement the same stochastic
+model through entirely different code paths; this module runs them
+against each other and reports the discrepancies.  The test suite pins
+these discrepancies to statistical tolerance, which guards both sides —
+a disagreement means one of them is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.topology import Topology
+from repro.errors import ReproError
+from repro.queueing.mm1k import MM1KQueue
+from repro.sim.runner import simulate
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One analytic-vs-simulated comparison."""
+
+    description: str
+    analytic: float
+    simulated: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|simulated - analytic| / max(analytic, tiny)``."""
+        scale = max(abs(self.analytic), 1e-12)
+        return abs(self.simulated - self.analytic) / scale
+
+
+def _single_queue_topology(lam: float, mu: float) -> Topology:
+    topo = Topology("validation")
+    topo.add_bus("x")
+    topo.add_processor("src", "x", service_rate=mu)
+    topo.add_processor("dst", "x", service_rate=mu)
+    topo.add_poisson_flow("f", "src", "dst", lam)
+    return topo
+
+
+def validate_mm1k_blocking(
+    lam: float = 2.0,
+    mu: float = 3.0,
+    capacity: int = 4,
+    duration: float = 50_000.0,
+    seed: int = 0,
+) -> ValidationPoint:
+    """Simulated vs closed-form blocking of a single M/M/1/K queue."""
+    if capacity < 1:
+        raise ReproError(f"capacity must be >= 1, got {capacity}")
+    topo = _single_queue_topology(lam, mu)
+    result = simulate(
+        topo,
+        {"src": capacity, "dst": 1},
+        duration=duration,
+        seed=seed,
+        warmup=duration * 0.02,
+    )
+    simulated = result.lost["src"] / max(result.offered["src"], 1)
+    analytic = MM1KQueue(lam, mu, capacity).blocking_probability()
+    return ValidationPoint(
+        description=f"M/M/1/{capacity} blocking (lam={lam}, mu={mu})",
+        analytic=analytic,
+        simulated=simulated,
+    )
+
+
+def validate_mm1k_occupancy(
+    lam: float = 1.5,
+    mu: float = 2.5,
+    capacity: int = 5,
+    duration: float = 50_000.0,
+    seed: int = 1,
+) -> ValidationPoint:
+    """Simulated vs closed-form mean occupancy of a single M/M/1/K queue."""
+    from repro.sim.system import CommunicationSystem
+
+    topo = _single_queue_topology(lam, mu)
+    system = CommunicationSystem(
+        topo, {"src": capacity, "dst": 1}, seed=seed
+    )
+    system.run(duration)
+    simulated = system.buffer("src").mean_occupancy(duration)
+    analytic = MM1KQueue(lam, mu, capacity).mean_number_in_system()
+    return ValidationPoint(
+        description=f"M/M/1/{capacity} mean occupancy (lam={lam}, mu={mu})",
+        analytic=analytic,
+        simulated=simulated,
+    )
+
+
+def validate_carried_rate(
+    lam: float = 2.0,
+    mu: float = 3.0,
+    capacity: int = 3,
+    duration: float = 50_000.0,
+    seed: int = 2,
+) -> ValidationPoint:
+    """Simulated vs analytic carried (delivered) rate."""
+    topo = _single_queue_topology(lam, mu)
+    result = simulate(
+        topo,
+        {"src": capacity, "dst": 1},
+        duration=duration,
+        seed=seed,
+        warmup=duration * 0.02,
+    )
+    simulated = result.delivered["src"] / duration
+    analytic = MM1KQueue(lam, mu, capacity).carried_rate()
+    return ValidationPoint(
+        description=f"M/M/1/{capacity} carried rate (lam={lam}, mu={mu})",
+        analytic=analytic,
+        simulated=simulated,
+    )
+
+
+def full_validation_suite(duration: float = 30_000.0) -> List[ValidationPoint]:
+    """Run the standard battery; returns all points for reporting."""
+    return [
+        validate_mm1k_blocking(duration=duration),
+        validate_mm1k_blocking(lam=3.0, mu=2.0, capacity=6, duration=duration),
+        validate_mm1k_occupancy(duration=duration),
+        validate_carried_rate(duration=duration),
+    ]

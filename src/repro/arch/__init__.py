@@ -1,0 +1,50 @@
+"""SoC communication-architecture modelling.
+
+The intermediate representation (:mod:`repro.arch.topology`) describes a
+communication sub-system exactly the way the paper draws one: processors
+attached to buses, buses rigidly linked into clusters or joined through
+**bridges**, and Poisson traffic flows between processors.  Template
+generators reproduce the paper's Figure 1, AMBA-like and CoreConnect-like
+systems, and the 17-processor network-processor testbed of the evaluation
+(:mod:`repro.arch.netproc`).
+"""
+
+from repro.arch.topology import (
+    Bridge,
+    Bus,
+    BusLink,
+    Flow,
+    Processor,
+    Topology,
+)
+from repro.arch.traffic import (
+    HyperexponentialTraffic,
+    OnOffTraffic,
+    PoissonTraffic,
+    TrafficDescriptor,
+)
+from repro.arch.templates import (
+    amba_like,
+    coreconnect_like,
+    paper_figure1,
+    single_bus,
+)
+from repro.arch.netproc import network_processor
+
+__all__ = [
+    "Bridge",
+    "Bus",
+    "BusLink",
+    "Flow",
+    "HyperexponentialTraffic",
+    "OnOffTraffic",
+    "PoissonTraffic",
+    "Processor",
+    "Topology",
+    "TrafficDescriptor",
+    "amba_like",
+    "coreconnect_like",
+    "network_processor",
+    "paper_figure1",
+    "single_bus",
+]

@@ -1,0 +1,133 @@
+"""Template architectures, including the paper's Figure 1.
+
+Every generator returns a fully validated :class:`~repro.arch.topology.Topology`.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.errors import TopologyError
+
+
+def single_bus(
+    num_processors: int = 4,
+    arrival_rate: float = 0.8,
+    service_rate: float = 4.0,
+) -> Topology:
+    """One bus, ``num_processors`` processors, all-to-next-neighbour flows.
+
+    The smallest meaningful sizing instance; used by the quickstart
+    example and many tests.
+    """
+    if num_processors < 2:
+        raise TopologyError("single_bus needs at least two processors")
+    topo = Topology("single-bus")
+    topo.add_bus("bus0")
+    names = [f"p{i}" for i in range(1, num_processors + 1)]
+    for name in names:
+        topo.add_processor(name, "bus0", service_rate=service_rate)
+    for i, name in enumerate(names):
+        dest = names[(i + 1) % num_processors]
+        topo.add_poisson_flow(f"{name}_to_{dest}", name, dest, arrival_rate)
+    topo.validate()
+    return topo
+
+
+def paper_figure1() -> Topology:
+    """The sample architecture of the paper's Figure 1.
+
+    Five processors; a linked cluster of buses ``a, b, c, e`` hosting
+    processors 1–4; separate buses ``f`` and ``g``; bus ``d`` hosting
+    processor 5; bridges ``b1`` (b–f), ``b2`` (b–g), ``b3`` (f–d), ``b4``
+    (g–d).  Cutting the four bridges yields exactly the paper's four split
+    subsystems (Figure 2):
+
+    1. the ``a–b–c–e`` cluster with processors 1–4 and the entry buffers
+       of ``b1``/``b2``,
+    2. bus ``f`` with the buffers of ``b1``/``b3``,
+    3. bus ``g`` with the buffers of ``b2``/``b4``,
+    4. bus ``d`` with processor 5 and the buffers of ``b3``/``b4``.
+
+    Flows include the inter-bus conversations the paper highlights
+    (processors 2, 3 and 5 talking across bridges) plus local traffic.
+    """
+    topo = Topology("paper-figure1")
+    for bus in ("a", "b", "c", "d", "e", "f", "g"):
+        topo.add_bus(bus)
+    # Rigid links forming the a-b-c-e cluster of Figure 1.
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    topo.add_link("c", "e")
+    # Processors 1..5 (service rate = bus transactions per unit time).
+    topo.add_processor("p1", "a", service_rate=6.0)
+    topo.add_processor("p2", "b", service_rate=6.0)
+    topo.add_processor("p3", "b", service_rate=6.0)
+    topo.add_processor("p4", "e", service_rate=6.0)
+    topo.add_processor("p5", "d", service_rate=6.0)
+    # Bridges; b1/b2 leave the big cluster, b3/b4 reach processor 5's bus.
+    topo.add_bridge("b1", "b", "f", service_rate=5.0)
+    topo.add_bridge("b2", "b", "g", service_rate=5.0)
+    topo.add_bridge("b3", "f", "d", service_rate=5.0)
+    topo.add_bridge("b4", "g", "d", service_rate=5.0)
+    # Local conversations inside the cluster.
+    topo.add_poisson_flow("f_12", "p1", "p2", 0.9)
+    topo.add_poisson_flow("f_23", "p2", "p3", 0.7)
+    topo.add_poisson_flow("f_41", "p4", "p1", 0.8)
+    # The bridged conversations of Section 2 (processors 2, 3 and 5).
+    topo.add_poisson_flow("f_25", "p2", "p5", 0.6)
+    topo.add_poisson_flow("f_35", "p3", "p5", 0.5)
+    topo.add_poisson_flow("f_52", "p5", "p2", 0.6)
+    topo.add_poisson_flow("f_53", "p5", "p3", 0.4)
+    topo.validate()
+    return topo
+
+
+def amba_like() -> Topology:
+    """An AMBA-style system: a fast AHB and a slow APB joined by a bridge.
+
+    Two masters (CPU, DMA) on AHB generate most traffic; two peripherals
+    (UART, TIMER) on APB both answer them and send interrupt-ish upstream
+    flows.  Mirrors the paper's remark that bridges are "a typical example
+    in the AMBA and CoreConnect systems".
+    """
+    topo = Topology("amba-like")
+    topo.add_bus("ahb")
+    topo.add_bus("apb")
+    topo.add_bridge("ahb2apb", "ahb", "apb", service_rate=3.0)
+    topo.add_processor("cpu", "ahb", service_rate=10.0)
+    topo.add_processor("dma", "ahb", service_rate=8.0)
+    topo.add_processor("uart", "apb", service_rate=2.0)
+    topo.add_processor("timer", "apb", service_rate=2.0)
+    topo.add_poisson_flow("cpu_dma", "cpu", "dma", 1.5)
+    topo.add_poisson_flow("cpu_uart", "cpu", "uart", 0.8)
+    topo.add_poisson_flow("dma_timer", "dma", "timer", 0.6)
+    topo.add_poisson_flow("uart_cpu", "uart", "cpu", 0.3)
+    topo.add_poisson_flow("timer_cpu", "timer", "cpu", 0.2)
+    topo.validate()
+    return topo
+
+
+def coreconnect_like() -> Topology:
+    """A CoreConnect-style system: PLB and OPB joined by two bridges.
+
+    The dual PLB<->OPB bridge pair exercises routes with a *choice* of
+    bridge, and a second processor bus (PLB2) linked rigidly to PLB
+    exercises multi-bus clusters.
+    """
+    topo = Topology("coreconnect-like")
+    topo.add_bus("plb")
+    topo.add_bus("plb2")
+    topo.add_bus("opb")
+    topo.add_link("plb", "plb2")
+    topo.add_bridge("plb2opb", "plb", "opb", service_rate=4.0)
+    topo.add_bridge("opb2plb", "opb", "plb", service_rate=4.0)
+    topo.add_processor("ppc", "plb", service_rate=12.0)
+    topo.add_processor("accel", "plb2", service_rate=9.0)
+    topo.add_processor("eth", "opb", service_rate=3.0)
+    topo.add_processor("gpio", "opb", service_rate=3.0)
+    topo.add_poisson_flow("ppc_accel", "ppc", "accel", 1.2)
+    topo.add_poisson_flow("ppc_eth", "ppc", "eth", 0.9)
+    topo.add_poisson_flow("eth_ppc", "eth", "ppc", 0.7)
+    topo.add_poisson_flow("accel_gpio", "accel", "gpio", 0.4)
+    topo.validate()
+    return topo

@@ -1,0 +1,86 @@
+"""Load-level analysis and feasibility checks for topologies.
+
+:meth:`repro.arch.topology.Topology.validate` checks *structure*; the
+functions here check *load*: whether each bus cluster could keep up with
+its offered traffic at all (utilisation), which the sizing experiments use
+to place themselves in the loss regime the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.arch.topology import Topology
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class ClusterLoad:
+    """Offered load summary of one bus cluster.
+
+    Attributes
+    ----------
+    cluster:
+        The buses forming the cluster.
+    offered_rate:
+        Total mean request rate entering the cluster (local sources plus
+        bridge ingress, un-thinned).
+    utilisation:
+        Offered rate divided by an optimistic service capacity (the mean
+        of the member clients' service rates) — above ~1 the cluster is
+        overloaded and *must* lose traffic regardless of buffer sizes.
+    """
+
+    cluster: frozenset
+    offered_rate: float
+    utilisation: float
+
+
+def cluster_loads(topology: Topology) -> List[ClusterLoad]:
+    """Per-cluster offered load, including bridge ingress traffic.
+
+    Bridge ingress is counted at its *offered* (un-thinned) rate, so this
+    is a conservative upper bound on real load.
+    """
+    topology.validate()
+    loads: List[ClusterLoad] = []
+    for cluster in topology.bus_clusters():
+        offered = 0.0
+        service_rates: List[float] = []
+        for proc in topology.cluster_processors(cluster):
+            offered += topology.processor_offered_rate(proc.name)
+            service_rates.append(proc.service_rate)
+        # Bridge ingress: flows whose route enters this cluster from
+        # outside contribute their full rate.
+        for flow in topology.flows.values():
+            route = topology.route(flow.name)
+            for i, visited in enumerate(route.clusters):
+                if visited == cluster and i > 0:
+                    offered += flow.rate
+        for bridge in topology.cluster_bridges(cluster):
+            service_rates.append(bridge.service_rate)
+        mean_service = sum(service_rates) / len(service_rates)
+        loads.append(
+            ClusterLoad(
+                cluster=cluster,
+                offered_rate=offered,
+                utilisation=offered / mean_service,
+            )
+        )
+    return loads
+
+
+def assert_not_overloaded(topology: Topology, limit: float = 1.0) -> None:
+    """Raise if any cluster's optimistic utilisation exceeds ``limit``.
+
+    The sizing method redistributes buffers; it cannot create bandwidth.
+    Experiments that want a *lossy but feasible* regime call this with
+    ``limit`` slightly above their target utilisation.
+    """
+    for load in cluster_loads(topology):
+        if load.utilisation > limit:
+            raise TopologyError(
+                f"cluster {sorted(load.cluster)} utilisation "
+                f"{load.utilisation:.3f} exceeds limit {limit:.3f}"
+            )

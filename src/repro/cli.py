@@ -1,0 +1,187 @@
+"""Command-line interface for the buffer-sizing toolkit.
+
+Usage (module form; also installed as ``repro-size`` via the console
+script entry point)::
+
+    python -m repro.cli size ARCH.soc --budget 32
+    python -m repro.cli simulate ARCH.soc --budget 32 --policy ctmdp
+    python -m repro.cli inspect ARCH.soc
+    python -m repro.cli figure3 --budget 160 --duration 1000 --reps 3
+    python -m repro.cli table1 --duration 800 --reps 3
+
+``ARCH.soc`` files use the textual DSL of :mod:`repro.arch.dsl`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.arch.dsl import parse_topology
+from repro.arch.validate import cluster_loads
+from repro.core.sizing import BufferSizer
+from repro.errors import ReproError
+from repro.policies.analytic import AnalyticGreedySizing
+from repro.policies.ctmdp_policy import CTMDPSizing
+from repro.policies.proportional import ProportionalSizing
+from repro.policies.uniform import UniformSizing
+from repro.sim.runner import replicate
+
+_POLICIES = {
+    "uniform": UniformSizing,
+    "proportional": ProportionalSizing,
+    "analytic": AnalyticGreedySizing,
+    "ctmdp": CTMDPSizing,
+}
+
+
+def _load_topology(path: str):
+    text = Path(path).read_text()
+    return parse_topology(text)
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    topology = _load_topology(args.architecture)
+    print(f"{topology!r}")
+    print("clusters:")
+    for load in cluster_loads(topology):
+        print(
+            f"  {sorted(load.cluster)}: offered {load.offered_rate:.3f}, "
+            f"utilisation {load.utilisation:.3f}"
+        )
+    print("flows:")
+    for name, flow in sorted(topology.flows.items()):
+        route = topology.route(name)
+        bridges = " -> ".join(route.bridges) if route.bridges else "(local)"
+        print(
+            f"  {name}: {flow.source} -> {flow.destination} "
+            f"rate {flow.rate:.3f} via {bridges}"
+        )
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    topology = _load_topology(args.architecture)
+    sizer = BufferSizer(total_budget=args.budget)
+    result = sizer.size(topology)
+    print(f"# allocation (budget {args.budget})")
+    for name in sorted(result.allocation.sizes):
+        print(f"{name} {result.allocation.sizes[name]}")
+    print(f"# expected loss rate {result.expected_loss_rate:.6f}")
+    print(
+        f"# bridge fixed point: {result.fixed_point_iterations} iteration(s)"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topology = _load_topology(args.architecture)
+    policy = _POLICIES[args.policy]()
+    allocation = policy.allocate(topology, args.budget)
+    summary = replicate(
+        topology,
+        allocation.as_capacities(),
+        replications=args.reps,
+        duration=args.duration,
+        base_seed=args.seed,
+    )
+    print(f"policy {args.policy}, budget {args.budget}:")
+    print(f"  mean total loss {summary.mean_total_loss():.1f} "
+          f"(+/- {summary.std_total_loss():.1f}) over {args.reps} runs")
+    for proc in sorted(topology.processors):
+        print(f"  {proc}: {summary.mean_loss(proc):.1f}")
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.experiments.figure3 import run_figure3
+
+    result = run_figure3(
+        budget=args.budget,
+        duration=args.duration,
+        replications=args.reps,
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    result = run_table1(
+        duration=args.duration,
+        replications=args.reps,
+    )
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CTMDP buffer insertion and sizing for SoC communication "
+            "sub-systems (DATE 2005 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="validate and summarise an architecture file"
+    )
+    p_inspect.add_argument("architecture", help="path to a .soc DSL file")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_size = sub.add_parser("size", help="run the CTMDP sizing pipeline")
+    p_size.add_argument("architecture")
+    p_size.add_argument("--budget", type=int, required=True)
+    p_size.set_defaults(func=_cmd_size)
+
+    p_sim = sub.add_parser(
+        "simulate", help="size with a policy and simulate the result"
+    )
+    p_sim.add_argument("architecture")
+    p_sim.add_argument("--budget", type=int, required=True)
+    p_sim.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="ctmdp"
+    )
+    p_sim.add_argument("--duration", type=float, default=5_000.0)
+    p_sim.add_argument("--reps", type=int, default=5)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_fig3 = sub.add_parser(
+        "figure3", help="regenerate the paper's Figure 3"
+    )
+    p_fig3.add_argument("--budget", type=int, default=160)
+    p_fig3.add_argument("--duration", type=float, default=1_500.0)
+    p_fig3.add_argument("--reps", type=int, default=5)
+    p_fig3.set_defaults(func=_cmd_figure3)
+
+    p_tab1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_tab1.add_argument("--duration", type=float, default=1_000.0)
+    p_tab1.add_argument("--reps", type=int, default=3)
+    p_tab1.set_defaults(func=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

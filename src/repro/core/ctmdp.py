@@ -1,0 +1,267 @@
+"""Finite continuous-time Markov decision processes (CTMDPs).
+
+A CTMDP extends a CTMC with a decision maker: in every state the
+controller picks an action, and the chosen action determines both the
+outgoing transition rates and the instantaneous cost *rate* accrued while
+the process sits in that state.  For the paper's buffer-sizing problem the
+controller is the **bus arbiter**, the state is the vector of buffer
+occupancies, the cost rate is the weighted packet-loss rate, and the
+constraint cost rates are the amounts of buffer space occupied.
+
+The class here is a plain container with validation and uniformization;
+solvers live in :mod:`repro.core.lp` (occupation-measure linear program,
+the paper's method via Feinberg 2002) and :mod:`repro.core.dp` (relative
+value iteration / policy iteration cross-checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+State = Hashable
+Action = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One rated transition ``state --action--> target`` at ``rate``."""
+
+    target: State
+    rate: float
+
+
+class CTMDP:
+    """A finite CTMDP assembled state by state.
+
+    Use :meth:`add_state` then :meth:`add_action`; finish with
+    :meth:`validate` (called implicitly by the solvers).
+
+    Notes
+    -----
+    * Cost entries are *rates* (cost per unit time), matching the
+      average-cost-per-unit-time criterion of Feinberg 2002.
+    * Self-loops are allowed in the input for modelling convenience (e.g.
+      "an arrival hits a full buffer and is dropped") but carry no
+      probabilistic meaning for a CTMC; they are discarded from the
+      generator while their cost contribution must be encoded in the cost
+      rate by the model builder.
+    """
+
+    def __init__(self) -> None:
+        self._states: List[State] = []
+        self._state_index: Dict[State, int] = {}
+        self._actions: Dict[State, List[Action]] = {}
+        self._transitions: Dict[Tuple[State, Action], List[Transition]] = {}
+        self._cost_rates: Dict[Tuple[State, Action], float] = {}
+        self._constraint_rates: Dict[str, Dict[Tuple[State, Action], float]] = {}
+        self._validated = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_state(self, state: State) -> None:
+        """Register a state.  Idempotent for repeated additions."""
+        if state in self._state_index:
+            return
+        self._state_index[state] = len(self._states)
+        self._states.append(state)
+        self._actions[state] = []
+        self._validated = False
+
+    def add_action(
+        self,
+        state: State,
+        action: Action,
+        transitions: Sequence[Tuple[State, float]],
+        cost_rate: float = 0.0,
+        constraint_rates: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Attach an action to a state.
+
+        Parameters
+        ----------
+        state:
+            The source state (auto-registered if new).
+        action:
+            Action label, unique within the state.
+        transitions:
+            Sequence of ``(target_state, rate)`` pairs with ``rate >= 0``.
+            Targets are auto-registered.  Self-loops are dropped.
+        cost_rate:
+            Cost accrued per unit time while in ``state`` under ``action``.
+        constraint_rates:
+            Optional named constraint cost rates (e.g. ``{"space": 3.0}``).
+        """
+        self.add_state(state)
+        if action in self._actions[state]:
+            raise ModelError(
+                f"duplicate action {action!r} in state {state!r}"
+            )
+        cleaned: List[Transition] = []
+        for target, rate in transitions:
+            if rate < 0:
+                raise ModelError(
+                    f"negative rate {rate} on {state!r} --{action!r}--> {target!r}"
+                )
+            self.add_state(target)
+            if target == state or rate == 0.0:
+                continue
+            cleaned.append(Transition(target, float(rate)))
+        self._actions[state].append(action)
+        self._transitions[(state, action)] = cleaned
+        self._cost_rates[(state, action)] = float(cost_rate)
+        for name, value in (constraint_rates or {}).items():
+            self._constraint_rates.setdefault(name, {})[(state, action)] = float(
+                value
+            )
+        self._validated = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def states(self) -> List[State]:
+        """All states in insertion order."""
+        return list(self._states)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return len(self._states)
+
+    @property
+    def num_state_actions(self) -> int:
+        """Total number of (state, action) pairs."""
+        return len(self._cost_rates)
+
+    @property
+    def constraint_names(self) -> List[str]:
+        """Names of all constraint cost vectors that appear anywhere."""
+        return sorted(self._constraint_rates)
+
+    def state_index(self, state: State) -> int:
+        """Dense index of a state."""
+        try:
+            return self._state_index[state]
+        except KeyError:
+            raise ModelError(f"unknown state {state!r}") from None
+
+    def actions(self, state: State) -> List[Action]:
+        """Actions available in a state."""
+        if state not in self._state_index:
+            raise ModelError(f"unknown state {state!r}")
+        return list(self._actions[state])
+
+    def transitions(self, state: State, action: Action) -> List[Transition]:
+        """Rated transitions for a (state, action) pair."""
+        key = (state, action)
+        if key not in self._transitions:
+            raise ModelError(f"unknown state-action {key!r}")
+        return list(self._transitions[key])
+
+    def cost_rate(self, state: State, action: Action) -> float:
+        """Cost rate of a (state, action) pair."""
+        key = (state, action)
+        if key not in self._cost_rates:
+            raise ModelError(f"unknown state-action {key!r}")
+        return self._cost_rates[key]
+
+    def constraint_rate(self, name: str, state: State, action: Action) -> float:
+        """Named constraint cost rate; zero when unset."""
+        return self._constraint_rates.get(name, {}).get((state, action), 0.0)
+
+    def exit_rate(self, state: State, action: Action) -> float:
+        """Total departure rate of a (state, action) pair."""
+        return sum(t.rate for t in self.transitions(state, action))
+
+    def state_action_pairs(self) -> List[Tuple[State, Action]]:
+        """All (state, action) pairs in deterministic order."""
+        return [
+            (s, a) for s in self._states for a in self._actions[s]
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation and derived models
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural soundness.
+
+        Raises
+        ------
+        ModelError
+            If the model has no states, any state has no action, or every
+            action of some state has zero exit rate while other states
+            exist (an absorbing trap that breaks the average-cost LP's
+            irreducibility assumption is allowed only for single-state
+            models).
+        """
+        if self._validated:
+            return
+        if not self._states:
+            raise ModelError("CTMDP has no states")
+        for state in self._states:
+            if not self._actions[state]:
+                raise ModelError(f"state {state!r} has no actions")
+        self._validated = True
+
+    def max_exit_rate(self) -> float:
+        """Largest exit rate over all (state, action) pairs."""
+        self.validate()
+        return max(
+            (self.exit_rate(s, a) for s, a in self.state_action_pairs()),
+            default=0.0,
+        )
+
+    def uniformized(
+        self, rate: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray, List[Tuple[State, Action]], float]:
+        """Uniformize into a discrete-time MDP.
+
+        Returns ``(P, c, pairs, rate)`` where row ``k`` of ``P`` is the
+        one-step distribution of pair ``pairs[k] = (state, action)``, and
+        ``c[k]`` is the *per-step* expected cost ``cost_rate / rate``.  The
+        average cost per unit time of the CTMDP equals ``rate`` times the
+        average cost per step of this DTMDP, so solvers can work entirely
+        in discrete time.
+        """
+        self.validate()
+        max_exit = self.max_exit_rate()
+        if rate is None:
+            rate = max_exit * (1.0 + 1e-9) if max_exit > 0 else 1.0
+        elif rate < max_exit:
+            raise ModelError(
+                f"uniformization rate {rate:.3g} below max exit {max_exit:.3g}"
+            )
+        pairs = self.state_action_pairs()
+        n = self.num_states
+        p = np.zeros((len(pairs), n))
+        c = np.zeros(len(pairs))
+        for k, (s, a) in enumerate(pairs):
+            i = self._state_index[s]
+            stay = 1.0
+            for t in self._transitions[(s, a)]:
+                j = self._state_index[t.target]
+                prob = t.rate / rate
+                p[k, j] += prob
+                stay -= prob
+            p[k, i] += stay
+            c[k] = self._cost_rates[(s, a)] / rate
+        if (p < -1e-12).any():
+            raise ModelError("uniformization produced negative probabilities")
+        p = np.clip(p, 0.0, None)
+        p /= p.sum(axis=1, keepdims=True)
+        return p, c, pairs, rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CTMDP(states={self.num_states}, "
+            f"state_actions={self.num_state_actions})"
+        )

@@ -1,0 +1,180 @@
+"""Lagrangian-dual solver for singly-constrained average-cost CTMDPs.
+
+An independent route to the constrained optimum that cross-checks the
+occupation-measure LP (:mod:`repro.core.lp`): dualise the single
+constraint ``E[d] <= D`` with multiplier ``beta >= 0``, solve the
+*unconstrained* problem ``min E[c + beta d]`` by policy iteration, and
+drive ``beta`` by bisection until the constraint is tight (or slack at
+``beta = 0``).
+
+Feinberg 2002's structural result says the constrained optimum is a
+mixture of at most two deterministic policies adjacent in ``beta`` — the
+K-switching construction with K = 1.  :func:`solve_constrained_dual`
+returns exactly that mixture, and tests assert its cost agrees with the
+LP to numerical precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP, State, Action
+from repro.core.dp import policy_iteration
+from repro.core.policy import StationaryPolicy
+from repro.errors import InfeasibleError, SolverError
+
+
+def _penalised_model(model: CTMDP, constraint: str, beta: float) -> CTMDP:
+    """A copy of ``model`` with cost ``c + beta * d`` (same dynamics)."""
+    penalised = CTMDP()
+    for state in model.states:
+        for action in model.actions(state):
+            transitions = [
+                (t.target, t.rate) for t in model.transitions(state, action)
+            ]
+            cost = model.cost_rate(state, action) + beta * model.constraint_rate(
+                constraint, state, action
+            )
+            penalised.add_action(state, action, transitions, cost_rate=cost)
+    # Preserve state ordering for states that are only transition targets.
+    penalised.validate()
+    return penalised
+
+
+@dataclass
+class DualSolution:
+    """Result of the Lagrangian-dual solve.
+
+    Attributes
+    ----------
+    cost:
+        Optimal constrained average cost rate.
+    constraint_value:
+        Achieved long-run average of the constrained quantity.
+    multiplier:
+        The converged Lagrange multiplier ``beta``.
+    policy_low / policy_high:
+        The two deterministic policies adjacent in ``beta`` (equal when
+        no mixing is needed).
+    mix_probability:
+        Weight on ``policy_high`` such that the mixture meets the bound
+        with equality (0 when the constraint is slack).
+    """
+
+    cost: float
+    constraint_value: float
+    multiplier: float
+    policy_low: StationaryPolicy
+    policy_high: StationaryPolicy
+    mix_probability: float
+
+    @property
+    def is_mixture(self) -> bool:
+        """Whether the optimum genuinely randomises between two policies."""
+        return 0.0 < self.mix_probability < 1.0
+
+
+def _evaluate(
+    model: CTMDP, policy: StationaryPolicy, constraint: str
+) -> Tuple[float, float]:
+    """(cost rate, constraint rate) of a policy on the original model."""
+    x = policy.stationary_state_action()
+    cost = sum(
+        mass * model.cost_rate(s, a) for (s, a), mass in x.items()
+    )
+    value = sum(
+        mass * model.constraint_rate(constraint, s, a)
+        for (s, a), mass in x.items()
+    )
+    return cost, value
+
+
+def solve_constrained_dual(
+    model: CTMDP,
+    constraint: str,
+    bound: float,
+    beta_max: float = 1e6,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> DualSolution:
+    """Solve ``min E[c]  s.t.  E[d] <= bound`` by dual bisection.
+
+    Raises
+    ------
+    InfeasibleError
+        If even the most constraint-averse policy (``beta -> beta_max``)
+        violates the bound.
+    SolverError
+        If bisection fails to bracket the bound (should not happen for
+        monotone duals; guards against pathological models).
+    """
+    model.validate()
+    if constraint not in model.constraint_names:
+        raise SolverError(
+            f"model has no constraint named {constraint!r}; "
+            f"available: {model.constraint_names}"
+        )
+
+    def solve_at(beta: float) -> Tuple[StationaryPolicy, float, float]:
+        penalised = _penalised_model(model, constraint, beta)
+        policy = policy_iteration(penalised).policy
+        # Re-wrap the policy onto the original model (same state/action
+        # structure, different costs).
+        choice = {
+            s: next(iter(policy.action_probabilities(s)))
+            for s in model.states
+        }
+        original_policy = StationaryPolicy.deterministic(model, choice)
+        cost, value = _evaluate(model, original_policy, constraint)
+        return original_policy, cost, value
+
+    policy0, cost0, value0 = solve_at(0.0)
+    if value0 <= bound + tol:
+        return DualSolution(
+            cost=cost0,
+            constraint_value=value0,
+            multiplier=0.0,
+            policy_low=policy0,
+            policy_high=policy0,
+            mix_probability=0.0,
+        )
+    policy_hi, cost_hi, value_hi = solve_at(beta_max)
+    if value_hi > bound + tol:
+        raise InfeasibleError(
+            f"constraint {constraint!r} <= {bound} unreachable: even at "
+            f"beta={beta_max:.3g} the best policy attains {value_hi:.6g}"
+        )
+    lo, hi = 0.0, beta_max
+    pol_lo, cost_lo, val_lo = policy0, cost0, value0
+    pol_hi, cost_hi2, val_hi2 = policy_hi, cost_hi, value_hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        policy_mid, cost_mid, value_mid = solve_at(mid)
+        if value_mid > bound:
+            lo = mid
+            pol_lo, cost_lo, val_lo = policy_mid, cost_mid, value_mid
+        else:
+            hi = mid
+            pol_hi, cost_hi2, val_hi2 = policy_mid, cost_mid, value_mid
+        if hi - lo < tol * max(1.0, hi):
+            break
+    # Mixture of the two bracketing deterministic policies that meets the
+    # bound with equality (time-sharing interpretation).
+    if abs(val_lo - val_hi2) < 1e-12:
+        mix = 0.0
+    else:
+        mix = (val_lo - bound) / (val_lo - val_hi2)
+        mix = float(np.clip(mix, 0.0, 1.0))
+    cost = (1.0 - mix) * cost_lo + mix * cost_hi2
+    value = (1.0 - mix) * val_lo + mix * val_hi2
+    return DualSolution(
+        cost=cost,
+        constraint_value=value,
+        multiplier=0.5 * (lo + hi),
+        policy_low=pol_lo,
+        policy_high=pol_hi,
+        mix_probability=mix,
+    )

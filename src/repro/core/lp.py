@@ -1,0 +1,382 @@
+"""Occupation-measure linear programs for average-cost CTMDPs.
+
+This module implements the LP characterisation of optimal policies for
+average-cost constrained CTMDPs used by the paper (its reference [1],
+Feinberg 2002, "Optimal control of average reward constrained continuous
+time finite Markov decision processes").
+
+For a single CTMDP the LP over the occupation measure ``x(s, a)``
+(the long-run fraction of time spent in state ``s`` while the controller
+uses action ``a``) is::
+
+    minimise    sum_{s,a} x(s,a) c(s,a)
+    subject to  sum_{s,a} x(s,a) q(j | s, a) = 0       for every state j
+                sum_{s,a} x(s,a)             = 1
+                sum_{s,a} x(s,a) d_k(s,a)   <= D_k     for every constraint k
+                x(s,a) >= 0
+
+where ``q(j | s, a)`` is the transition rate into ``j`` (negative exit
+rate when ``j = s``).  An optimal policy is recovered as
+``phi(a|s) = x(s,a) / sum_a x(s,a)``.
+
+The paper's central observation is that when buses talk *through bridges*
+the joint system couples the occupation measures of the individual buses
+multiplicatively, so the equality constraints above become **quadratic**
+(see :mod:`repro.core.quadratic` for that honest, failing formulation).
+Its remedy — split the architecture into linear subsystems and solve all
+of them **in one go** — corresponds here to :class:`BlockLP`: one
+occupation-measure block per subsystem, stitched together by *shared
+linear* constraints (the global buffer budget) while bridge flow rates are
+resolved by an outer fixed point (:mod:`repro.core.sizing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.core.ctmdp import CTMDP, Action, State
+from repro.core.policy import StationaryPolicy, policy_from_occupation_measure
+from repro.errors import InfeasibleError, SolverError
+
+
+@dataclass
+class ConstraintSpec:
+    """An upper bound on the long-run average of a named constraint cost.
+
+    ``sum_{s,a} x(s,a) * model.constraint_rate(name, s, a) <= bound``.
+    """
+
+    name: str
+    bound: float
+
+
+@dataclass
+class LPSolution:
+    """Solution of a (block) occupation-measure LP.
+
+    Attributes
+    ----------
+    objective:
+        Optimal long-run average cost rate (weighted over blocks).
+    occupations:
+        Per block: mapping ``(state, action) -> probability mass``.
+    policies:
+        Per block: the extracted stationary randomised policy.
+    block_costs:
+        Per block: its own average cost rate under the solution.
+    constraint_values:
+        Achieved long-run averages for every local and shared constraint,
+        keyed by ``(block_index, name)`` for local and ``name`` for shared.
+    iterations:
+        Simplex/IPM iteration count reported by the backend.
+    """
+
+    objective: float
+    occupations: List[Dict[Tuple[State, Action], float]]
+    policies: List[StationaryPolicy]
+    block_costs: List[float]
+    constraint_values: Dict[object, float]
+    iterations: int
+
+
+class AverageCostLP:
+    """Occupation-measure LP solver for a single CTMDP.
+
+    Thin convenience wrapper over :class:`BlockLP` with one block.
+    """
+
+    def __init__(self, model: CTMDP) -> None:
+        model.validate()
+        self.model = model
+
+    def solve(
+        self,
+        constraints: Sequence[ConstraintSpec] = (),
+        maximise: bool = False,
+    ) -> LPSolution:
+        """Solve the (constrained) average-cost problem.
+
+        Parameters
+        ----------
+        constraints:
+            Local constraint bounds, referencing the model's named
+            constraint rates.
+        maximise:
+            Maximise the cost instead of minimising (useful for reward
+            formulations in tests).
+        """
+        block = BlockLP()
+        block.add_block(self.model, constraints=constraints)
+        return block.solve(maximise=maximise)
+
+
+class BlockLP:
+    """A joint LP over several CTMDP blocks with shared linear constraints.
+
+    This is the computational object behind the paper's split method: each
+    bridge-separated subsystem contributes one block (its own balance
+    equations and normalisation — *linear*), and the scarce total buffer
+    budget contributes one shared row across all blocks.  Solving this LP
+    solves "all the equations in one go and not sequentially for each
+    subsystem", as Section 2 of the paper requires.
+    """
+
+    def __init__(self) -> None:
+        self._models: List[CTMDP] = []
+        self._weights: List[float] = []
+        self._local_constraints: List[List[ConstraintSpec]] = []
+        self._shared_constraints: List[
+            Tuple[str, List[Dict[Tuple[State, Action], float]], float]
+        ] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of CTMDP blocks added so far."""
+        return len(self._models)
+
+    def add_block(
+        self,
+        model: CTMDP,
+        weight: float = 1.0,
+        constraints: Sequence[ConstraintSpec] = (),
+    ) -> int:
+        """Add a CTMDP block; returns its index.
+
+        ``weight`` scales the block's cost in the joint objective (the
+        paper's "weighing of the loss at processors").
+        """
+        if weight < 0:
+            raise SolverError(f"block weight must be >= 0, got {weight}")
+        model.validate()
+        self._models.append(model)
+        self._weights.append(float(weight))
+        self._local_constraints.append(list(constraints))
+        return len(self._models) - 1
+
+    def add_shared_constraint(
+        self,
+        name: str,
+        coefficients: List[Dict[Tuple[State, Action], float]],
+        bound: float,
+    ) -> None:
+        """Add ``sum_b sum_{s,a} coeff_b(s,a) x_b(s,a) <= bound``.
+
+        ``coefficients`` must have one dict per existing block (empty dict
+        for blocks that do not participate).
+        """
+        if len(coefficients) != self.num_blocks:
+            raise SolverError(
+                f"shared constraint {name!r} supplies {len(coefficients)} "
+                f"coefficient maps for {self.num_blocks} blocks"
+            )
+        self._shared_constraints.append(
+            (name, [dict(c) for c in coefficients], float(bound))
+        )
+
+    def add_shared_budget(
+        self,
+        name: str,
+        constraint_name: str,
+        bound: float,
+    ) -> None:
+        """Shared constraint built from each block's named constraint rates.
+
+        Convenience for the common case "the sum over all subsystems of
+        the expected occupied buffer space is at most the budget": uses
+        ``model.constraint_rate(constraint_name, s, a)`` as coefficients
+        in every block.
+        """
+        coefficients = []
+        for model in self._models:
+            coeffs: Dict[Tuple[State, Action], float] = {}
+            for s, a in model.state_action_pairs():
+                value = model.constraint_rate(constraint_name, s, a)
+                if value != 0.0:
+                    coeffs[(s, a)] = value
+            coefficients.append(coeffs)
+        self.add_shared_constraint(name, coefficients, bound)
+
+    # ------------------------------------------------------------------
+
+    def solve(self, maximise: bool = False) -> LPSolution:
+        """Assemble and solve the joint LP with HiGHS.
+
+        Raises
+        ------
+        InfeasibleError
+            If the joint problem is infeasible (e.g. the shared budget is
+            below what the balance equations force).
+        SolverError
+            For any other backend failure.
+        """
+        if not self._models:
+            raise SolverError("BlockLP has no blocks")
+        # Column layout: blocks in order, each block's (s, a) pairs in
+        # deterministic order.
+        pair_lists = [m.state_action_pairs() for m in self._models]
+        offsets = np.cumsum([0] + [len(p) for p in pair_lists])
+        num_vars = int(offsets[-1])
+
+        cost = np.zeros(num_vars)
+        for b, model in enumerate(self._models):
+            for k, (s, a) in enumerate(pair_lists[b]):
+                cost[offsets[b] + k] = self._weights[b] * model.cost_rate(s, a)
+        if maximise:
+            cost = -cost
+
+        # Equality rows: balance per state per block + normalisation per
+        # block.  Assemble as COO triplets (much faster than element-wise
+        # sparse writes for the tens of thousands of entries a joint bus
+        # model produces).
+        num_balance = sum(m.num_states for m in self._models)
+        eq_rows: List[int] = []
+        eq_cols: List[int] = []
+        eq_vals: List[float] = []
+        b_eq = np.zeros(num_balance + self.num_blocks)
+        row = 0
+        row_of_state: List[Dict[State, int]] = []
+        for b, model in enumerate(self._models):
+            rows = {}
+            for s in model.states:
+                rows[s] = row
+                row += 1
+            row_of_state.append(rows)
+        for b, model in enumerate(self._models):
+            for k, (s, a) in enumerate(pair_lists[b]):
+                col = offsets[b] + k
+                exit_rate = 0.0
+                for t in model.transitions(s, a):
+                    eq_rows.append(row_of_state[b][t.target])
+                    eq_cols.append(col)
+                    eq_vals.append(t.rate)
+                    exit_rate += t.rate
+                eq_rows.append(row_of_state[b][s])
+                eq_cols.append(col)
+                eq_vals.append(-exit_rate)
+        for b in range(self.num_blocks):
+            for col in range(offsets[b], offsets[b + 1]):
+                eq_rows.append(num_balance + b)
+                eq_cols.append(col)
+                eq_vals.append(1.0)
+            b_eq[num_balance + b] = 1.0
+        a_eq = csr_matrix(
+            (eq_vals, (eq_rows, eq_cols)),
+            shape=(num_balance + self.num_blocks, num_vars),
+        )
+
+        # Inequality rows: local constraints then shared constraints.
+        ub_rows: List[Tuple[Dict[int, float], float, object]] = []
+        for b, model in enumerate(self._models):
+            pair_index = {pair: k for k, pair in enumerate(pair_lists[b])}
+            for spec in self._local_constraints[b]:
+                coeffs: Dict[int, float] = {}
+                for pair, k in pair_index.items():
+                    value = model.constraint_rate(spec.name, *pair)
+                    if value != 0.0:
+                        coeffs[offsets[b] + k] = value
+                ub_rows.append((coeffs, spec.bound, (b, spec.name)))
+        for name, coefficient_maps, bound in self._shared_constraints:
+            coeffs = {}
+            for b, cmap in enumerate(coefficient_maps):
+                pair_index = {pair: k for k, pair in enumerate(pair_lists[b])}
+                for pair, value in cmap.items():
+                    if pair not in pair_index:
+                        raise SolverError(
+                            f"shared constraint {name!r} references unknown "
+                            f"state-action {pair!r} in block {b}"
+                        )
+                    if value != 0.0:
+                        coeffs[offsets[b] + pair_index[pair]] = value
+            ub_rows.append((coeffs, bound, name))
+
+        if ub_rows:
+            ub_r: List[int] = []
+            ub_c: List[int] = []
+            ub_v: List[float] = []
+            b_ub = np.zeros(len(ub_rows))
+            for r, (coeffs, bound, _key) in enumerate(ub_rows):
+                for col, value in coeffs.items():
+                    ub_r.append(r)
+                    ub_c.append(col)
+                    ub_v.append(value)
+                b_ub[r] = bound
+            a_ub = csr_matrix(
+                (ub_v, (ub_r, ub_c)), shape=(len(ub_rows), num_vars)
+            )
+        else:
+            a_ub = None
+            b_ub = None
+
+        # Interior point (with HiGHS's default crossover to a basic
+        # solution) is several times faster than simplex on these highly
+        # degenerate occupation-measure LPs; fall back to simplex when
+        # IPM struggles.
+        result = linprog(
+            cost,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=(0, None),
+            method="highs-ipm",
+        )
+        if not result.success and result.status not in (2,):
+            result = linprog(
+                cost,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=(0, None),
+                method="highs",
+            )
+        if not result.success:
+            message = str(result.message)
+            if result.status == 2 or "infeasible" in message.lower():
+                raise InfeasibleError(
+                    "occupation-measure LP is infeasible: " + message,
+                    status=str(result.status),
+                )
+            raise SolverError(
+                "LP backend failed: " + message,
+                status=str(result.status),
+            )
+
+        x = np.clip(result.x, 0.0, None)
+        occupations: List[Dict[Tuple[State, Action], float]] = []
+        policies: List[StationaryPolicy] = []
+        block_costs: List[float] = []
+        for b, model in enumerate(self._models):
+            occ = {
+                pair: float(x[offsets[b] + k])
+                for k, pair in enumerate(pair_lists[b])
+            }
+            occupations.append(occ)
+            policies.append(policy_from_occupation_measure(model, occ))
+            block_costs.append(
+                sum(
+                    mass * model.cost_rate(s, a)
+                    for (s, a), mass in occ.items()
+                )
+            )
+        constraint_values: Dict[object, float] = {}
+        for coeffs, _bound, key in ub_rows:
+            constraint_values[key] = float(
+                sum(x[col] * value for col, value in coeffs.items())
+            )
+        objective = float(result.fun if not maximise else -result.fun)
+        return LPSolution(
+            objective=objective,
+            occupations=occupations,
+            policies=policies,
+            block_costs=block_costs,
+            constraint_values=constraint_values,
+            iterations=int(getattr(result, "nit", 0) or 0),
+        )

@@ -1,0 +1,472 @@
+"""End-to-end CTMDP buffer sizing (the paper's full pipeline).
+
+:class:`BufferSizer` wires everything together:
+
+1. **Split** the bridged architecture into linear subsystems
+   (:mod:`repro.core.splitting`), inserting a buffer at every used
+   bridge direction.
+2. **Model** each subsystem as a CTMDP: the exact joint occupancy model
+   when the state space is small enough, the decomposed per-client model
+   with a shared bus-time row otherwise (:mod:`repro.core.bus_model`).
+3. **Solve one joint LP** over all subsystems — "all the equations ...
+   in one go and not sequentially" — with a single shared buffer-space
+   row tying the blocks to the scarce total budget
+   (:class:`repro.core.lp.BlockLP`).
+4. **Iterate the bridge-rate fixed point**: recompute carried rates into
+   every bridge buffer from the blocking probabilities of the latest
+   solution, rebuild, resolve, until rates converge.
+5. **Translate** the final occupation measures into an integer
+   allocation via the K-switching machinery
+   (:mod:`repro.core.kswitching`).
+
+The result plugs directly into the simulator:
+``simulate(topology, result.allocation.as_capacities(), ...)`` — the
+paper's "the system is resimulated with the new buffer lengths and the
+losses are compared".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.topology import Topology
+from repro.core.bus_model import (
+    SPACE,
+    BusClient,
+    build_client_chain_ctmdp,
+    build_joint_bus_ctmdp,
+    bus_time_coefficients,
+    chain_client_marginal,
+    joint_client_marginals,
+    joint_state_space_size,
+)
+from repro.core.kswitching import ClientDemand, allocate_greedy
+from repro.core.lp import BlockLP, LPSolution
+from repro.core.splitting import (
+    SplitSystem,
+    Subsystem,
+    bridge_arrival_rates,
+    split,
+)
+from repro.errors import InfeasibleError, SolverError
+
+#: Default joint-model state-count threshold; above it a subsystem's
+#: per-client model depth shrinks (and below depth 2 it falls back to
+#: decomposed per-client chains).  2000 keeps a five-client subsystem at
+#: depth 3 (1024 states), which solves in well under a second via
+#: interior point while losing almost nothing versus deeper lattices
+#: (the tails are extrapolated geometrically either way).
+DEFAULT_JOINT_STATE_LIMIT = 2000
+
+
+@dataclass
+class BufferAllocation:
+    """An integer buffer allocation over all clients.
+
+    ``sizes`` maps processor names and bridge-entry buffer names (the
+    simulator's client vocabulary) to slot counts.
+    """
+
+    sizes: Dict[str, int]
+    budget: int
+
+    def __post_init__(self) -> None:
+        for name, size in self.sizes.items():
+            if size < 0:
+                raise SolverError(
+                    f"allocation gives {name!r} negative size {size}"
+                )
+
+    @property
+    def total(self) -> int:
+        """Total slots allocated."""
+        return sum(self.sizes.values())
+
+    def as_capacities(self) -> Dict[str, int]:
+        """Plain dict for :func:`repro.sim.runner.simulate`."""
+        return dict(self.sizes)
+
+    def size_of(self, client: str) -> int:
+        """Slots given to one client (0 if absent)."""
+        return self.sizes.get(client, 0)
+
+
+@dataclass
+class SizingResult:
+    """Everything the sizing pipeline produced.
+
+    Attributes
+    ----------
+    allocation:
+        The integer buffer allocation (sums exactly to the budget).
+    expected_loss_rate:
+        The joint LP objective at the converged fixed point: the
+        model-predicted weighted loss rate per unit time.
+    marginals:
+        Per-client stationary queue-length marginals from the LP.
+    blocking:
+        Per-client full-buffer probabilities at the model capacity cap.
+    fixed_point_iterations:
+        Outer bridge-rate iterations performed.
+    space_bound_used:
+        The expected-space bound of the final LP (after any adaptive
+        relaxation).
+    lp_solution:
+        Full LP solution (occupations, policies) of the final solve.
+    split_system:
+        The subsystem decomposition (with converged bridge rates).
+    """
+
+    allocation: BufferAllocation
+    expected_loss_rate: float
+    marginals: Dict[str, np.ndarray]
+    blocking: Dict[str, float]
+    fixed_point_iterations: int
+    space_bound_used: float
+    lp_solution: LPSolution
+    split_system: SplitSystem
+
+    def predicted_total_loss_rate(self) -> float:
+        """End-to-end predicted loss rate from the flow-thinning view.
+
+        Unlike :attr:`expected_loss_rate` (the joint LP objective, which
+        evaluates losses at the *model* capacities), this accumulates each
+        flow's loss across its hops using the fixed point's per-client
+        blocking estimates — the quantity that is directly comparable
+        across budgets and to simulation.
+        """
+        total = 0.0
+        for flow_name, hops in self.split_system.flow_hops.items():
+            rate = self.split_system.topology.flows[flow_name].rate
+            surviving = rate
+            for hop in hops:
+                b = self.blocking.get(hop.client, 0.0)
+                surviving *= 1.0 - min(max(b, 0.0), 1.0)
+            total += rate - surviving
+        return total
+
+
+class BufferSizer:
+    """Optimal buffer sizing via split subsystems and a joint LP.
+
+    Parameters
+    ----------
+    total_budget:
+        Total buffer slots to distribute over all processors and inserted
+        bridge buffers.
+    capacity_cap:
+        Per-client upper bound defining the CTMDP lattices.  ``None``
+        derives a heuristic from the budget and client count.
+    space_fraction:
+        The LP bounds *expected* occupied space by
+        ``space_fraction * total_budget``; the default 1.0 mirrors the
+        paper's hard budget (expected occupancy can never exceed the
+        physical slots anyway).
+    joint_state_limit:
+        Subsystems whose joint lattice exceeds this use the decomposed
+        model.
+    max_fixed_point_iterations / fixed_point_tol / damping:
+        Bridge-rate outer loop controls.
+    min_size:
+        Minimum slots per client (default 1).
+    """
+
+    def __init__(
+        self,
+        total_budget: int,
+        capacity_cap: Optional[int] = None,
+        space_fraction: float = 1.0,
+        joint_state_limit: int = DEFAULT_JOINT_STATE_LIMIT,
+        max_fixed_point_iterations: int = 6,
+        fixed_point_tol: float = 1e-3,
+        damping: float = 1.0,
+        min_size: int = 1,
+    ) -> None:
+        if total_budget < 1:
+            raise SolverError(
+                f"total budget must be >= 1, got {total_budget}"
+            )
+        if not 0.0 < space_fraction <= 1.0:
+            raise SolverError(
+                f"space fraction must be in (0, 1], got {space_fraction}"
+            )
+        if not 0.0 < damping <= 1.0:
+            raise SolverError(f"damping must be in (0, 1], got {damping}")
+        self.total_budget = int(total_budget)
+        self.capacity_cap = capacity_cap
+        self.space_fraction = float(space_fraction)
+        self.joint_state_limit = int(joint_state_limit)
+        self.max_fixed_point_iterations = int(max_fixed_point_iterations)
+        self.fixed_point_tol = float(fixed_point_tol)
+        self.damping = float(damping)
+        self.min_size = int(min_size)
+
+    # ------------------------------------------------------------------
+
+    def _derive_cap(self, topology: Topology) -> int:
+        """Maximum model depth per client (upper bound; the per-subsystem
+        lattice budget of :meth:`_model_cap` usually binds first)."""
+        if self.capacity_cap is not None:
+            if self.capacity_cap < 1:
+                raise SolverError(
+                    f"capacity cap must be >= 1, got {self.capacity_cap}"
+                )
+            return int(self.capacity_cap)
+        probe = split(topology, 1)
+        num_clients = len(probe.all_client_names())
+        # Twice the fair share, clamped to something lattice-friendly.
+        fair = max(2 * self.total_budget // max(num_clients, 1), 4)
+        return int(min(fair, self.total_budget, 24))
+
+    def _model_cap(self, num_clients: int, requested: int) -> Optional[int]:
+        """Deepest per-client occupancy the joint lattice affords.
+
+        Returns the largest ``c <= requested`` with
+        ``(c + 1) ** num_clients <= joint_state_limit``, or ``None`` when
+        even ``c = 2`` does not fit (the subsystem then falls back to the
+        decomposed per-client model).
+        """
+        cap = min(
+            requested,
+            max(int(self.joint_state_limit ** (1.0 / num_clients)) - 1, 0),
+        )
+        while cap >= 2 and (cap + 1) ** num_clients > self.joint_state_limit:
+            cap -= 1
+        return cap if cap >= 2 else None
+
+    def _build_blocks(
+        self, split_system: SplitSystem, requested_cap: int
+    ) -> Tuple[BlockLP, List[Tuple[Subsystem, str, List[BusClient]]]]:
+        """One BlockLP with all subsystems; returns block bookkeeping.
+
+        Each subsystem uses the **exact joint occupancy model** at the
+        deepest per-client capacity its lattice budget affords (the
+        shared-bus contention is what shapes queue tails, so the joint
+        model is strongly preferred; its marginals are geometrically
+        extrapolated past the model cap by :meth:`_extend_marginal`).
+        Subsystems with too many clients for even a depth-2 lattice fall
+        back to decomposed per-client chains with a shared bus-time row
+        and a small holding cost that removes the parking degeneracy.
+
+        Bookkeeping entries are ``(subsystem, kind, model_clients)`` with
+        kind ``"joint"`` or ``"chain"``; ``model_clients`` carry the
+        (possibly reduced) model capacities.
+        """
+        block_lp = BlockLP()
+        bookkeeping: List[Tuple[Subsystem, str, List[BusClient]]] = []
+        for sub in split_system.subsystems:
+            if not sub.clients:
+                # A cluster no flow touches (e.g. a redundant bridge path)
+                # needs no buffers and contributes nothing to the LP.
+                continue
+            model_cap = self._model_cap(len(sub.clients), requested_cap)
+            if model_cap is not None:
+                model_clients = [
+                    c.with_capacity(model_cap) for c in sub.clients
+                ]
+                model = build_joint_bus_ctmdp(model_clients)
+                block_lp.add_block(model)
+                bookkeeping.append((sub, "joint", model_clients))
+            else:
+                chain_cap = min(requested_cap, 30)
+                model_clients = [
+                    c.with_capacity(chain_cap) for c in sub.clients
+                ]
+                chain_models = []
+                for client in model_clients:
+                    holding = 1e-5 * (
+                        client.loss_weight * client.arrival_rate + 1.0
+                    )
+                    model = build_client_chain_ctmdp(
+                        client, holding_cost_rate=holding
+                    )
+                    block_lp.add_block(model)
+                    chain_models.append(model)
+                bookkeeping.append((sub, "chain", model_clients))
+                # Shared bus-time row over just this subsystem's blocks.
+                coefficients = [
+                    {} for _ in range(block_lp.num_blocks - len(chain_models))
+                ] + [bus_time_coefficients(m) for m in chain_models]
+                block_lp.add_shared_constraint(
+                    f"bus_time[{sub.index}]", coefficients, bound=1.0
+                )
+        return block_lp, bookkeeping
+
+    @staticmethod
+    def _extend_marginal(marginal: np.ndarray, length: int) -> np.ndarray:
+        """Geometrically extrapolate a queue-length marginal.
+
+        The joint model truncates each client at the model cap; beyond it
+        the stationary law of a stable queue decays geometrically, so the
+        tail is extended with the decay ratio observed at the top of the
+        modelled range and renormalised.
+        """
+        m = np.clip(np.asarray(marginal, dtype=float), 0.0, None)
+        if m.size >= length + 1:
+            out = m[: length + 1]
+            total = out.sum()
+            return out / total if total > 0 else out
+        if m.size >= 2 and m[-2] > 0:
+            ratio = float(np.clip(m[-1] / m[-2], 0.0, 0.995))
+        else:
+            ratio = 0.0
+        extra = length + 1 - m.size
+        tail = m[-1] * ratio ** np.arange(1, extra + 1)
+        out = np.concatenate([m, tail])
+        total = out.sum()
+        if total <= 0:
+            raise SolverError("marginal extrapolation lost all mass")
+        return out / total
+
+    def _solve_with_adaptive_bound(
+        self, split_system: SplitSystem, requested_cap: int
+    ) -> Tuple[LPSolution, float, List[Tuple[Subsystem, str, List[BusClient]]]]:
+        """Solve the joint LP, relaxing the space bound if infeasible.
+
+        The expected-space bound can be infeasible when the budget is very
+        tight relative to offered load (occupancy is forced by balance).
+        The paper's experiments live in exactly that regime at budget 160,
+        so rather than fail we geometrically relax the bound and record
+        the value used.
+        """
+        bound = self.space_fraction * self.total_budget
+        last_error: Optional[InfeasibleError] = None
+        for _attempt in range(6):
+            block_lp, bookkeeping = self._build_blocks(
+                split_system, requested_cap
+            )
+            block_lp.add_shared_budget("budget", SPACE, bound=bound)
+            try:
+                return block_lp.solve(), bound, bookkeeping
+            except InfeasibleError as exc:
+                last_error = exc
+                bound *= 1.5
+        raise InfeasibleError(
+            "joint LP remained infeasible after relaxing the space bound; "
+            f"last error: {last_error}"
+        )
+
+    def _extract_marginals(
+        self,
+        solution: LPSolution,
+        bookkeeping: List[Tuple[Subsystem, str, List[BusClient]]],
+    ) -> Dict[str, np.ndarray]:
+        """Per-client queue-length marginals from the block solutions."""
+        marginals: Dict[str, np.ndarray] = {}
+        block_index = 0
+        for sub, kind, clients in bookkeeping:
+            if kind == "joint":
+                occ = solution.occupations[block_index]
+                block_index += 1
+                marginals.update(joint_client_marginals(clients, occ))
+            else:
+                for client in clients:
+                    occ = solution.occupations[block_index]
+                    block_index += 1
+                    marginals[client.name] = chain_client_marginal(
+                        client, occ
+                    )
+        return marginals
+
+    # ------------------------------------------------------------------
+
+    def size(self, topology: Topology) -> SizingResult:
+        """Run the full pipeline on a topology.
+
+        Raises
+        ------
+        InfeasibleError
+            If the budget cannot give every client its minimum size, or
+            the LP stays infeasible after adaptive relaxation.
+        """
+        cap = self._derive_cap(topology)
+        split_system = split(topology, cap)
+        num_clients = len(split_system.all_client_names())
+        if self.total_budget < self.min_size * num_clients:
+            raise InfeasibleError(
+                f"budget {self.total_budget} cannot give {num_clients} "
+                f"clients {self.min_size} slot(s) each"
+            )
+
+        # Fair-share size used to estimate blocking during the bridge
+        # fixed point (the final integer sizes are not known yet).
+        fair_share = max(self.total_budget // num_clients, 1)
+        solution: Optional[LPSolution] = None
+        bound_used = self.space_fraction * self.total_budget
+        bookkeeping: List[Tuple[Subsystem, str, List[BusClient]]] = []
+        marginals: Dict[str, np.ndarray] = {}
+        blocking: Dict[str, float] = {}
+        iterations = 0
+        for iterations in range(1, self.max_fixed_point_iterations + 1):
+            solution, bound_used, bookkeeping = (
+                self._solve_with_adaptive_bound(split_system, cap)
+            )
+            marginals = {
+                name: self._extend_marginal(marg, self.total_budget)
+                for name, marg in self._extract_marginals(
+                    solution, bookkeeping
+                ).items()
+            }
+            blocking = {}
+            for name, marg in marginals.items():
+                k = min(fair_share, marg.size - 1)
+                cdf = float(marg[: k + 1].sum())
+                blocking[name] = float(marg[k]) / cdf if cdf > 0 else 1.0
+            new_rates = bridge_arrival_rates(split_system, blocking)
+            # Compare against the current bridge-client rates.
+            max_delta = 0.0
+            current: Dict[str, float] = {}
+            for sub in split_system.subsystems:
+                for name in sub.bridge_client_names:
+                    current[name] = sub.client(name).arrival_rate
+            for name, rate in new_rates.items():
+                max_delta = max(max_delta, abs(rate - current.get(name, 0.0)))
+            if max_delta < self.fixed_point_tol:
+                break
+            damped = {
+                name: self.damping * rate
+                + (1.0 - self.damping) * current.get(name, 0.0)
+                for name, rate in new_rates.items()
+            }
+            split_system.subsystems = [
+                sub.with_rates(damped) for sub in split_system.subsystems
+            ]
+        assert solution is not None  # loop runs at least once
+
+        demands = []
+        for sub in split_system.subsystems:
+            for client in sub.clients:
+                demands.append(
+                    ClientDemand(
+                        name=client.name,
+                        marginal=marginals[client.name],
+                        arrival_rate=max(client.arrival_rate, 1e-12),
+                        loss_weight=client.loss_weight,
+                        max_size=self.total_budget,
+                    )
+                )
+        sizes = allocate_greedy(
+            demands, self.total_budget, min_size=self.min_size
+        )
+        allocation = BufferAllocation(sizes=sizes, budget=self.total_budget)
+        # Final blocking estimates at the *allocated* sizes (the fixed
+        # point above used a fair-share probe size; the allocation is now
+        # known, so report the consistent truncated-law blocking).
+        final_blocking: Dict[str, float] = {}
+        for name, marg in marginals.items():
+            k = min(sizes.get(name, 1), marg.size - 1)
+            cdf = float(marg[: k + 1].sum())
+            final_blocking[name] = float(marg[k]) / cdf if cdf > 0 else 1.0
+        return SizingResult(
+            allocation=allocation,
+            expected_loss_rate=solution.objective,
+            marginals=marginals,
+            blocking=final_blocking,
+            fixed_point_iterations=iterations,
+            space_bound_used=bound_used,
+            lp_solution=solution,
+            split_system=split_system,
+        )

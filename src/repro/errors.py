@@ -1,0 +1,55 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subpackages raise the most specific subclass that
+applies; none of them raise bare ``ValueError``/``RuntimeError`` for
+domain-level failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A stochastic model (CTMC, CTMDP, queue) is malformed.
+
+    Examples: a generator matrix whose rows do not sum to zero, a negative
+    rate, an empty action set for some state.
+    """
+
+
+class TopologyError(ReproError):
+    """A communication architecture description is structurally invalid.
+
+    Examples: a processor attached to no bus, a bridge whose two endpoints
+    are the same bus, duplicate component names.
+    """
+
+
+class SolverError(ReproError):
+    """An optimisation backend failed to produce a usable solution.
+
+    Carries the backend status message so benches can report *why* the
+    quadratic formulation failed, as the paper does for Matlab 6.1.
+    """
+
+    def __init__(self, message: str, status: str = ""):
+        super().__init__(message)
+        self.status = status
+
+
+class InfeasibleError(SolverError):
+    """The optimisation problem has no feasible point.
+
+    Raised, for instance, when the buffer budget is smaller than the number
+    of clients that must each receive at least one slot.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class PolicyError(ReproError):
+    """A sizing or arbitration policy was given arguments it cannot honour."""

@@ -1,0 +1,98 @@
+"""Figure 3: per-processor loss before sizing, after sizing, timeout.
+
+The paper plots three bars per processor (17 processors, 10 iterations):
+loss before buffer sizing (constant allocation), after CTMDP resizing,
+and under the timeout policy.  The expected *shape*: post-sizing bars
+mostly below pre-sizing, a few processors slightly worse (the paper's
+processor 1), the timeout policy worst in aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.loss import PolicyComparison, compare_policies
+from repro.analysis.report import bar_chart, format_table
+from repro.analysis.stats import relative_improvement
+from repro.experiments.common import POST, PRE, TIMEOUT, NetprocExperiment
+
+
+@dataclass
+class Figure3Result:
+    """The reproduced Figure 3."""
+
+    experiment: NetprocExperiment
+    comparison: PolicyComparison
+    budget: int
+
+    def per_processor(self) -> Dict[str, Dict[str, float]]:
+        """``config -> processor -> mean loss count``."""
+        return {
+            name: self.comparison.per_processor(name)
+            for name in (PRE, POST, TIMEOUT)
+        }
+
+    def improvement_vs_pre(self) -> float:
+        """Fractional total-loss reduction of post vs pre (paper: ~0.2)."""
+        return self.comparison.improvement_over(PRE, POST)
+
+    def improvement_vs_timeout(self) -> float:
+        """Fractional total-loss reduction of post vs timeout (paper: ~0.5)."""
+        return self.comparison.improvement_over(TIMEOUT, POST)
+
+    def render(self, width: int = 40) -> str:
+        """ASCII reproduction of the figure plus the aggregate numbers."""
+        data = self.per_processor()
+        chart = bar_chart(
+            {name: data[name] for name in (PRE, POST, TIMEOUT)},
+            categories=self.experiment.processors,
+            width=width,
+            title=(
+                f"Figure 3 — per-processor mean loss "
+                f"(budget={self.budget}, "
+                f"{self.comparison.summaries[PRE].num_replications} reps)"
+            ),
+        )
+        rows = [
+            (
+                "total loss",
+                self.comparison.mean_total_loss(PRE),
+                self.comparison.mean_total_loss(POST),
+                self.comparison.mean_total_loss(TIMEOUT),
+            )
+        ]
+        table = format_table(
+            ["metric", "pre", "post", "timeout"], rows, title=""
+        )
+        summary = (
+            f"post vs pre improvement:     {self.improvement_vs_pre():6.1%}\n"
+            f"post vs timeout improvement: {self.improvement_vs_timeout():6.1%}"
+        )
+        return "\n\n".join([chart, table, summary])
+
+
+def run_figure3(
+    budget: int = 160,
+    duration: float = 3_000.0,
+    replications: int = 10,
+    arch_seed: int = 2005,
+    base_seed: int = 0,
+    sizer_kwargs: dict | None = None,
+) -> Figure3Result:
+    """Regenerate Figure 3 on the synthetic network processor."""
+    experiment = NetprocExperiment.build(
+        budget=budget, arch_seed=arch_seed, sizer_kwargs=sizer_kwargs
+    )
+    comparison = compare_policies(
+        experiment.topology,
+        experiment.allocations,
+        replications=replications,
+        duration=duration,
+        base_seed=base_seed,
+        timeout_thresholds=experiment.timeout_thresholds(),
+        processors=experiment.processors,
+    )
+    return Figure3Result(
+        experiment=experiment, comparison=comparison, budget=budget
+    )

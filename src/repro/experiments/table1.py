@@ -1,0 +1,102 @@
+"""Table 1: loss before/after sizing under varying total buffer size.
+
+The paper reports pre/post loss counts for processors 1, 4, 15 and 16 at
+total buffer budgets 160, 320 and 640, observing that (a) with very
+limited space (160) redistribution helps little and some processors get
+worse, and (b) post-sizing losses fall with budget and reach zero at 640.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.loss import PolicyComparison, compare_policies
+from repro.analysis.report import format_table
+from repro.errors import ReproError
+from repro.experiments.common import POST, PRE, NetprocExperiment
+
+#: The processors the paper's table displays.
+PAPER_PROCESSORS = ("p1", "p4", "p15", "p16")
+#: The paper's budget axis.
+PAPER_BUDGETS = (160, 320, 640)
+
+
+@dataclass
+class Table1Result:
+    """The reproduced Table 1."""
+
+    budgets: List[int]
+    comparisons: Dict[int, PolicyComparison]
+    processors: List[str]
+
+    def cell(self, budget: int, processor: str, config: str) -> float:
+        """Mean loss count for one (budget, processor, pre/post) cell."""
+        if budget not in self.comparisons:
+            raise ReproError(f"budget {budget} was not swept")
+        return self.comparisons[budget].per_processor(config).get(
+            processor, 0.0
+        )
+
+    def total(self, budget: int, config: str) -> float:
+        """System-wide mean loss at one budget."""
+        if budget not in self.comparisons:
+            raise ReproError(f"budget {budget} was not swept")
+        return self.comparisons[budget].mean_total_loss(config)
+
+    def render(self, processors: Sequence[str] = PAPER_PROCESSORS) -> str:
+        """ASCII reproduction of Table 1 (pre/post per budget)."""
+        headers = ["PROCESSOR"]
+        for budget in self.budgets:
+            headers += [f"Buf {budget} pre", f"Buf {budget} post"]
+        rows = []
+        for proc in processors:
+            row: List[object] = [proc]
+            for budget in self.budgets:
+                row.append(self.cell(budget, proc, PRE))
+                row.append(self.cell(budget, proc, POST))
+            rows.append(row)
+        total_row: List[object] = ["TOTAL"]
+        for budget in self.budgets:
+            total_row.append(self.total(budget, PRE))
+            total_row.append(self.total(budget, POST))
+        rows.append(total_row)
+        return format_table(
+            headers, rows, title="Table 1 — loss under varying total buffer size"
+        )
+
+
+def run_table1(
+    budgets: Sequence[int] = PAPER_BUDGETS,
+    duration: float = 3_000.0,
+    replications: int = 10,
+    arch_seed: int = 2005,
+    base_seed: int = 0,
+    sizer_kwargs: dict | None = None,
+) -> Table1Result:
+    """Sweep the total budget and compare pre/post losses."""
+    if not budgets:
+        raise ReproError("table 1 needs at least one budget")
+    comparisons: Dict[int, PolicyComparison] = {}
+    processors: List[str] = []
+    for budget in budgets:
+        experiment = NetprocExperiment.build(
+            budget=int(budget), arch_seed=arch_seed, sizer_kwargs=sizer_kwargs
+        )
+        processors = experiment.processors
+        comparisons[int(budget)] = compare_policies(
+            experiment.topology,
+            {
+                PRE: experiment.allocations[PRE],
+                POST: experiment.allocations[POST],
+            },
+            replications=replications,
+            duration=duration,
+            base_seed=base_seed,
+            processors=experiment.processors,
+        )
+    return Table1Result(
+        budgets=[int(b) for b in budgets],
+        comparisons=comparisons,
+        processors=processors,
+    )

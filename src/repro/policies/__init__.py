@@ -1,0 +1,31 @@
+"""Buffer-allocation policies: the CTMDP method and its baselines.
+
+* :class:`UniformSizing` — equal split (the naive constant sizing).
+* :class:`ProportionalSizing` — split by traffic ratios, the paper's
+  explicit strawman ("different from simple division of the space
+  depending on traffic ratios") and the "pre-sizing" configuration of
+  Figure 3 / Table 1.
+* :class:`AnalyticGreedySizing` — M/M/1/K marginal-benefit greedy, a
+  stronger queueing-theoretic baseline we add for the ablations.
+* :class:`CTMDPSizing` — the paper's method, wrapping
+  :class:`repro.core.sizing.BufferSizer`.
+* :func:`calibrate_timeout_threshold` — the timeout policy's threshold:
+  "the average time spent by a request in a buffer".
+"""
+
+from repro.policies.base import SizingPolicy, sizing_clients
+from repro.policies.uniform import UniformSizing
+from repro.policies.proportional import ProportionalSizing
+from repro.policies.analytic import AnalyticGreedySizing
+from repro.policies.ctmdp_policy import CTMDPSizing
+from repro.policies.timeout import calibrate_timeout_threshold
+
+__all__ = [
+    "AnalyticGreedySizing",
+    "CTMDPSizing",
+    "ProportionalSizing",
+    "SizingPolicy",
+    "UniformSizing",
+    "calibrate_timeout_threshold",
+    "sizing_clients",
+]

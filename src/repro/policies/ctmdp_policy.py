@@ -1,0 +1,30 @@
+"""The paper's CTMDP sizing wrapped in the common policy interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.topology import Topology
+from repro.core.sizing import BufferAllocation, BufferSizer, SizingResult
+
+
+class CTMDPSizing:
+    """Split-subsystem CTMDP sizing (the paper's method).
+
+    Thin adapter around :class:`repro.core.sizing.BufferSizer` so the
+    experiment harness can treat all policies uniformly.  The last full
+    :class:`~repro.core.sizing.SizingResult` is kept for inspection.
+    """
+
+    name = "ctmdp"
+
+    def __init__(self, **sizer_kwargs) -> None:
+        self._sizer_kwargs = dict(sizer_kwargs)
+        self.last_result: Optional[SizingResult] = None
+
+    def allocate(self, topology: Topology, budget: int) -> BufferAllocation:
+        """Run the full split + joint-LP + K-switching pipeline."""
+        sizer = BufferSizer(total_budget=budget, **self._sizer_kwargs)
+        result = sizer.size(topology)
+        self.last_result = result
+        return result.allocation

@@ -1,0 +1,30 @@
+"""Traffic-proportional buffer sizing — the paper's pre-sizing baseline.
+
+Section 1: "We found this optimal distribution of buffer space different
+from simple division of the space depending on traffic ratios."  This
+policy *is* that simple division: each client's share of the budget is
+its share of the total offered traffic.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.core.sizing import BufferAllocation
+from repro.policies.base import (
+    SizingPolicy,
+    largest_remainder_rounding,
+    sizing_clients,
+)
+
+
+class ProportionalSizing(SizingPolicy):
+    """Split the budget proportionally to each client's offered rate."""
+
+    name = "proportional"
+
+    def allocate(self, topology: Topology, budget: int) -> BufferAllocation:
+        clients = sizing_clients(topology)
+        self._check_budget(budget, len(clients))
+        shares = {c.name: c.arrival_rate for c in clients}
+        sizes = largest_remainder_rounding(shares, budget)
+        return BufferAllocation(sizes=sizes, budget=budget)

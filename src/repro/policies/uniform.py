@@ -1,0 +1,28 @@
+"""Uniform (equal-split) buffer sizing."""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.core.sizing import BufferAllocation
+from repro.policies.base import (
+    SizingPolicy,
+    largest_remainder_rounding,
+    sizing_clients,
+)
+
+
+class UniformSizing(SizingPolicy):
+    """Give every client the same number of slots (remainder by name).
+
+    The bluntest "constant buffer sizing": what a designer does with no
+    traffic information at all.
+    """
+
+    name = "uniform"
+
+    def allocate(self, topology: Topology, budget: int) -> BufferAllocation:
+        clients = sizing_clients(topology)
+        self._check_budget(budget, len(clients))
+        shares = {c.name: 1.0 for c in clients}
+        sizes = largest_remainder_rounding(shares, budget)
+        return BufferAllocation(sizes=sizes, budget=budget)

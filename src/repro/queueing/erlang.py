@@ -1,0 +1,109 @@
+"""Numerically stable Erlang-B and Erlang-C formulas.
+
+Erlang-B gives the blocking probability of an ``M/M/c/c`` loss system and
+is the classical yardstick for buffer/trunk provisioning; the paper's
+"simple division of the space depending on traffic ratios" baseline is the
+kind of rule these formulas replace.  The recursions below are the
+standard stable forms (no factorials, no overflow).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def erlang_b(offered_load: float, servers: int) -> float:
+    """Erlang-B blocking probability ``B(E, c)``.
+
+    Parameters
+    ----------
+    offered_load:
+        Offered traffic ``E = lambda / mu`` in Erlangs, ``E >= 0``.
+    servers:
+        Number of servers/slots ``c >= 0``.
+
+    Uses the stable recursion ``B(E, 0) = 1``,
+    ``B(E, k) = E B(E, k-1) / (k + E B(E, k-1))``.
+    """
+    if offered_load < 0:
+        raise ModelError(f"offered load must be >= 0, got {offered_load}")
+    if servers < 0:
+        raise ModelError(f"servers must be >= 0, got {servers}")
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b
+
+
+def erlang_c(offered_load: float, servers: int) -> float:
+    """Erlang-C probability of waiting for an ``M/M/c`` delay system.
+
+    Requires ``offered_load < servers`` for stability.
+    """
+    if servers < 1:
+        raise ModelError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ModelError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load >= servers:
+        raise ModelError(
+            f"offered load {offered_load:.3g} must be below servers "
+            f"{servers} for a stable delay system"
+        )
+    b = erlang_b(offered_load, servers)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+def erlang_b_inverse(offered_load: float, target_blocking: float) -> int:
+    """Smallest number of servers with blocking below ``target_blocking``.
+
+    This is the classic provisioning question and the analytic cousin of
+    the buffer-sizing problem the paper solves via CTMDPs.
+    """
+    if not 0.0 < target_blocking < 1.0:
+        raise ModelError(
+            f"target blocking must be in (0, 1), got {target_blocking}"
+        )
+    if offered_load < 0:
+        raise ModelError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0
+    b = 1.0
+    k = 0
+    # The recursion is monotone decreasing in k, so walk up until we pass
+    # the target.  Guard with a generous iteration bound.
+    max_servers = max(1000, int(10 * offered_load) + 100)
+    while b > target_blocking:
+        k += 1
+        b = offered_load * b / (k + offered_load * b)
+        if k > max_servers:
+            raise ModelError(
+                "erlang_b_inverse failed to converge; load too high?"
+            )
+    return k
+
+
+def offered_load_for_blocking(servers: int, target_blocking: float, tol: float = 1e-10) -> float:
+    """Largest offered load a ``c``-server loss system carries at the target blocking.
+
+    Solved by bisection on the monotone map ``E -> B(E, c)``.
+    """
+    if servers < 1:
+        raise ModelError(f"servers must be >= 1, got {servers}")
+    if not 0.0 < target_blocking < 1.0:
+        raise ModelError(
+            f"target blocking must be in (0, 1), got {target_blocking}"
+        )
+    lo, hi = 0.0, float(servers)
+    # Expand hi until blocking exceeds target.
+    while erlang_b(hi, servers) < target_blocking:
+        hi *= 2.0
+        if hi > 1e12:
+            raise ModelError("offered_load_for_blocking diverged")
+    while hi - lo > tol * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if erlang_b(mid, servers) < target_blocking:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

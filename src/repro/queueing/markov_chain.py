@@ -1,0 +1,330 @@
+"""Finite continuous-time Markov chains (CTMCs).
+
+A CTMC on states ``0..n-1`` is described by its generator (rate) matrix
+``Q`` where ``Q[i, j] >= 0`` for ``i != j`` is the transition rate from
+``i`` to ``j`` and each row sums to zero.  This module provides
+
+* structural validation of generators,
+* steady-state (stationary) distributions via a dense linear solve,
+* transient distributions via uniformization (no matrix exponential
+  needed, numerically robust),
+* expected hitting times,
+* uniformized discrete-time transition matrices, the bridge between the
+  continuous-time models of the paper and discrete dynamic programming.
+
+The CTMDP machinery in :mod:`repro.core.ctmdp` reuses the validation and
+uniformization helpers defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+#: Tolerance used when checking that generator rows sum to zero.
+ROW_SUM_TOL = 1e-8
+
+
+def validate_generator(matrix: np.ndarray, tol: float = ROW_SUM_TOL) -> np.ndarray:
+    """Validate and return a CTMC generator matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square array-like.  Off-diagonal entries must be non-negative and
+        every row must sum to (numerically) zero.
+    tol:
+        Maximum tolerated absolute row sum.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float copy of the validated generator.
+
+    Raises
+    ------
+    ModelError
+        If the matrix is not square, has a negative off-diagonal entry, or
+        a row sum exceeding ``tol`` in magnitude.
+    """
+    q = np.asarray(matrix, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ModelError(f"generator must be square, got shape {q.shape}")
+    n = q.shape[0]
+    if n == 0:
+        raise ModelError("generator must have at least one state")
+    off_diag = q.copy()
+    np.fill_diagonal(off_diag, 0.0)
+    if (off_diag < -tol).any():
+        i, j = np.argwhere(off_diag < -tol)[0]
+        raise ModelError(
+            f"negative off-diagonal rate q[{i},{j}]={q[i, j]:.3g}"
+        )
+    row_sums = q.sum(axis=1)
+    worst = np.abs(row_sums).max()
+    if worst > max(tol, tol * np.abs(q).max()):
+        i = int(np.abs(row_sums).argmax())
+        raise ModelError(
+            f"generator row {i} sums to {row_sums[i]:.3g}, expected 0"
+        )
+    return q
+
+
+def uniformization_rate(q: np.ndarray, slack: float = 1.0 + 1e-9) -> float:
+    """Return a valid uniformization constant for generator ``q``.
+
+    The constant is ``slack * max_i |q[i, i]|`` (at least a small positive
+    number for the degenerate all-absorbing chain), guaranteeing that the
+    uniformized matrix ``I + Q / rate`` is stochastic.
+    """
+    rate = float(np.abs(np.diag(q)).max()) * slack
+    if rate <= 0.0:
+        rate = 1.0
+    return rate
+
+
+def uniformize(q: np.ndarray, rate: Optional[float] = None) -> tuple[np.ndarray, float]:
+    """Uniformize a generator into a DTMC transition matrix.
+
+    Returns ``(P, rate)`` with ``P = I + Q / rate`` row-stochastic.  If
+    ``rate`` is not given a safe one is chosen via
+    :func:`uniformization_rate`.
+
+    Raises
+    ------
+    ModelError
+        If a caller-supplied ``rate`` is smaller than the largest exit
+        rate, which would produce negative probabilities.
+    """
+    q = np.asarray(q, dtype=float)
+    max_exit = float(np.abs(np.diag(q)).max())
+    if rate is None:
+        rate = uniformization_rate(q)
+    elif rate < max_exit:
+        raise ModelError(
+            f"uniformization rate {rate:.3g} below max exit rate {max_exit:.3g}"
+        )
+    p = np.eye(q.shape[0]) + q / rate
+    # Clip tiny negative round-off and renormalise each row.
+    p = np.clip(p, 0.0, None)
+    p /= p.sum(axis=1, keepdims=True)
+    return p, rate
+
+
+class ContinuousTimeMarkovChain:
+    """A finite CTMC with analysis helpers.
+
+    Parameters
+    ----------
+    generator:
+        Square generator matrix; validated on construction.
+    state_labels:
+        Optional hashable labels for the states, used in reports.  Defaults
+        to ``range(n)``.
+    """
+
+    def __init__(
+        self,
+        generator: np.ndarray,
+        state_labels: Optional[Sequence] = None,
+    ) -> None:
+        self.generator = validate_generator(generator)
+        n = self.generator.shape[0]
+        if state_labels is None:
+            state_labels = list(range(n))
+        if len(state_labels) != n:
+            raise ModelError(
+                f"{len(state_labels)} labels supplied for {n} states"
+            )
+        self.state_labels = list(state_labels)
+        self._index = {label: i for i, label in enumerate(self.state_labels)}
+        if len(self._index) != n:
+            raise ModelError("state labels must be unique")
+        self._stationary: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Number of states in the chain."""
+        return self.generator.shape[0]
+
+    def index_of(self, label) -> int:
+        """Return the matrix index of a state label."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise ModelError(f"unknown state label {label!r}") from None
+
+    def exit_rate(self, label) -> float:
+        """Total rate of leaving the given state."""
+        i = self.index_of(label)
+        return float(-self.generator[i, i])
+
+    # ------------------------------------------------------------------
+    # Steady state
+    # ------------------------------------------------------------------
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Solve ``pi Q = 0`` with ``sum(pi) = 1``.
+
+        Uses a dense least-squares solve of the augmented system, which is
+        robust for the moderately sized (up to a few thousand states)
+        chains this library constructs.  The result is cached.
+
+        Raises
+        ------
+        ModelError
+            If the chain has no strictly positive stationary solution
+            (e.g. it is reducible with multiple closed classes, making the
+            solution non-unique).
+        """
+        if self._stationary is not None:
+            return self._stationary
+        n = self.num_states
+        # pi Q = 0  and  pi 1 = 1  =>  A^T pi^T = b
+        a = np.vstack([self.generator.T, np.ones((1, n))])
+        b = np.zeros(n + 1)
+        b[-1] = 1.0
+        pi, residuals, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+        if rank < n:
+            raise ModelError(
+                "stationary distribution is not unique (reducible chain?)"
+            )
+        if (pi < -1e-8).any():
+            raise ModelError("stationary solve produced negative probabilities")
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ModelError("stationary solve failed to normalise")
+        pi /= total
+        residual = float(np.abs(pi @ self.generator).max())
+        if residual > 1e-6:
+            raise ModelError(
+                f"stationary residual {residual:.3g} too large; "
+                "generator may be ill-conditioned"
+            )
+        self._stationary = pi
+        return pi
+
+    def stationary_probability(self, label) -> float:
+        """Stationary probability of one state."""
+        return float(self.stationary_distribution()[self.index_of(label)])
+
+    def expected_stationary(self, values: Iterable[float]) -> float:
+        """Expectation of a per-state value vector under the stationary law."""
+        v = np.asarray(list(values), dtype=float)
+        if v.shape[0] != self.num_states:
+            raise ModelError(
+                f"value vector has {v.shape[0]} entries for "
+                f"{self.num_states} states"
+            )
+        return float(self.stationary_distribution() @ v)
+
+    # ------------------------------------------------------------------
+    # Transient analysis
+    # ------------------------------------------------------------------
+
+    def transient_distribution(
+        self,
+        initial: np.ndarray,
+        t: float,
+        tol: float = 1e-12,
+        max_terms: int = 100_000,
+    ) -> np.ndarray:
+        """Distribution at time ``t`` from ``initial`` via uniformization.
+
+        Evaluates ``initial @ expm(Q t)`` as a Poisson-weighted sum of
+        powers of the uniformized DTMC, truncating once the remaining
+        Poisson tail mass falls below ``tol``.
+        """
+        if t < 0:
+            raise ModelError(f"time must be non-negative, got {t}")
+        p0 = np.asarray(initial, dtype=float)
+        if p0.shape != (self.num_states,):
+            raise ModelError(
+                f"initial distribution shape {p0.shape} does not match "
+                f"{self.num_states} states"
+            )
+        if abs(p0.sum() - 1.0) > 1e-8 or (p0 < -1e-12).any():
+            raise ModelError("initial distribution must be a probability vector")
+        if t == 0.0:
+            return p0.copy()
+        p_mat, rate = uniformize(self.generator)
+        lam = rate * t
+        # Poisson(lam) weights computed in log space so large lam does not
+        # underflow: log w_k = -lam + k log lam - log k!.
+        result = np.zeros_like(p0)
+        vec = p0.copy()
+        log_w = -lam
+        accumulated = 0.0
+        k = 0
+        while k < max_terms:
+            w = np.exp(log_w)
+            if w > 0.0:
+                result += w * vec
+                accumulated += w
+            if accumulated > 1.0 - tol and k > lam:
+                break
+            k += 1
+            vec = vec @ p_mat
+            log_w += np.log(lam) - np.log(k)
+        if accumulated <= 0.0:
+            raise ModelError("uniformization failed to accumulate mass")
+        return result / result.sum()
+
+    # ------------------------------------------------------------------
+    # Hitting times
+    # ------------------------------------------------------------------
+
+    def expected_hitting_times(self, targets: Iterable) -> np.ndarray:
+        """Expected time to reach any state in ``targets`` from each state.
+
+        Solves the standard first-passage linear system; entries for target
+        states are zero.
+
+        Raises
+        ------
+        ModelError
+            If some state cannot reach the target set (singular system).
+        """
+        target_idx = {self.index_of(t) for t in targets}
+        if not target_idx:
+            raise ModelError("targets must be non-empty")
+        n = self.num_states
+        others = [i for i in range(n) if i not in target_idx]
+        if not others:
+            return np.zeros(n)
+        sub = self.generator[np.ix_(others, others)]
+        rhs = -np.ones(len(others))
+        try:
+            h_others = np.linalg.solve(sub, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ModelError(
+                "hitting-time system is singular; target set may be "
+                "unreachable from some state"
+            ) from exc
+        if (h_others < -1e-9).any():
+            raise ModelError("negative hitting time computed; check generator")
+        h = np.zeros(n)
+        for pos, i in enumerate(others):
+            h[i] = max(h_others[pos], 0.0)
+        return h
+
+    # ------------------------------------------------------------------
+    # Uniformization
+    # ------------------------------------------------------------------
+
+    def uniformized(self, rate: Optional[float] = None) -> tuple[np.ndarray, float]:
+        """Return ``(P, rate)`` for the uniformized discrete-time chain."""
+        return uniformize(self.generator, rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContinuousTimeMarkovChain(num_states={self.num_states})"
+        )

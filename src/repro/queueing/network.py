@@ -1,0 +1,256 @@
+"""Loss networks and carried-traffic fixed points.
+
+When the paper splits a bridged architecture into subsystems, the arrival
+rate into a bridge buffer is the *carried* (non-lost) rate of the upstream
+subsystem's flows — i.e. the offered rate thinned by the upstream blocking
+probability.  Iterating this thinning to convergence is exactly the
+reduced-load (Erlang fixed point) approximation classical in loss
+networks.  This module provides that machinery in a reusable form:
+
+* :func:`carried_rate` — one thinning step,
+* :class:`TandemLossChain` — a chain of finite queues with flow thinning,
+* :class:`LossNetwork` / :func:`reduced_load_fixed_point` — general
+  multi-link reduced-load iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.queueing.mm1k import MM1KQueue
+
+
+def carried_rate(offered: float, blocking: float) -> float:
+    """Thin an offered rate by a blocking probability.
+
+    Simply ``offered * (1 - blocking)`` with validation; kept as a named
+    function so the bridge fixed point reads declaratively.
+    """
+    if offered < 0:
+        raise ModelError(f"offered rate must be >= 0, got {offered}")
+    if not 0.0 <= blocking <= 1.0:
+        raise ModelError(f"blocking must be in [0, 1], got {blocking}")
+    return offered * (1.0 - blocking)
+
+
+class TandemLossChain:
+    """A tandem of M/M/1/K loss stages with flow thinning.
+
+    Stage ``i`` receives the carried traffic of stage ``i - 1``.  This is
+    the simplest analytic model of a chain of bridges (e.g. processor ->
+    bus b -> bridge b2 -> bus f in the paper's Figure 1) and is used to
+    sanity-check the subsystem fixed point in tests.
+
+    Parameters
+    ----------
+    arrival_rate:
+        External Poisson rate offered to the first stage.
+    service_rates:
+        Service rate per stage.
+    capacities:
+        Buffer capacity per stage (same length as ``service_rates``).
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        service_rates: Sequence[float],
+        capacities: Sequence[int],
+    ) -> None:
+        if len(service_rates) != len(capacities):
+            raise ModelError(
+                f"{len(service_rates)} service rates vs "
+                f"{len(capacities)} capacities"
+            )
+        if len(service_rates) == 0:
+            raise ModelError("tandem must have at least one stage")
+        if arrival_rate <= 0:
+            raise ModelError(f"arrival rate must be positive, got {arrival_rate}")
+        self.arrival_rate = float(arrival_rate)
+        self.service_rates = [float(m) for m in service_rates]
+        self.capacities = [int(k) for k in capacities]
+
+    def stage_metrics(self) -> List[dict]:
+        """Per-stage offered/carried/loss metrics after thinning.
+
+        Returns a list of dicts with keys ``offered``, ``blocking``,
+        ``carried`` and ``loss_rate``.
+        """
+        metrics: List[dict] = []
+        offered = self.arrival_rate
+        for mu, cap in zip(self.service_rates, self.capacities):
+            if offered <= 0:
+                metrics.append(
+                    {"offered": 0.0, "blocking": 0.0, "carried": 0.0, "loss_rate": 0.0}
+                )
+                continue
+            queue = MM1KQueue(offered, mu, cap)
+            blocking = queue.blocking_probability()
+            carried = carried_rate(offered, blocking)
+            metrics.append(
+                {
+                    "offered": offered,
+                    "blocking": blocking,
+                    "carried": carried,
+                    "loss_rate": offered - carried,
+                }
+            )
+            offered = carried
+        return metrics
+
+    def end_to_end_carried(self) -> float:
+        """Traffic rate surviving every stage."""
+        metrics = self.stage_metrics()
+        return metrics[-1]["carried"]
+
+    def total_loss_rate(self) -> float:
+        """Total rate of requests lost anywhere in the chain."""
+        return self.arrival_rate - self.end_to_end_carried()
+
+
+@dataclass
+class LossNetwork:
+    """A loss network for the reduced-load approximation.
+
+    Parameters
+    ----------
+    link_capacities:
+        Mapping from link name to integer capacity (buffer slots).
+    link_service_rates:
+        Mapping from link name to service rate.
+    routes:
+        Mapping from flow name to the ordered list of links it traverses.
+    offered_rates:
+        Mapping from flow name to its external Poisson rate.
+    """
+
+    link_capacities: Dict[str, int]
+    link_service_rates: Dict[str, float]
+    routes: Dict[str, List[str]]
+    offered_rates: Dict[str, float]
+    _blockings: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for flow, route in self.routes.items():
+            if not route:
+                raise ModelError(f"flow {flow!r} has an empty route")
+            for link in route:
+                if link not in self.link_capacities:
+                    raise ModelError(
+                        f"flow {flow!r} references unknown link {link!r}"
+                    )
+        for flow in self.offered_rates:
+            if flow not in self.routes:
+                raise ModelError(f"offered rate for unknown flow {flow!r}")
+        for link, cap in self.link_capacities.items():
+            if cap < 1:
+                raise ModelError(f"link {link!r} capacity must be >= 1")
+            if self.link_service_rates.get(link, 0.0) <= 0:
+                raise ModelError(f"link {link!r} needs a positive service rate")
+
+    def link_offered_load(self, blockings: Dict[str, float]) -> Dict[str, float]:
+        """Offered rate at each link given current per-link blockings.
+
+        A flow reaching link ``l`` has been thinned by every *earlier* link
+        on its route (the standard independence approximation).
+        """
+        offered: Dict[str, float] = {link: 0.0 for link in self.link_capacities}
+        for flow, route in self.routes.items():
+            rate = self.offered_rates.get(flow, 0.0)
+            for link in route:
+                offered[link] += rate
+                rate = carried_rate(rate, blockings.get(link, 0.0))
+        return offered
+
+    def solve(self, tol: float = 1e-10, max_iter: int = 10_000, damping: float = 0.5) -> Dict[str, float]:
+        """Iterate the reduced-load fixed point; returns per-link blocking."""
+        blockings = {link: 0.0 for link in self.link_capacities}
+        for _ in range(max_iter):
+            offered = self.link_offered_load(blockings)
+            new_blockings = {}
+            for link, rate in offered.items():
+                if rate <= 0:
+                    new_blockings[link] = 0.0
+                    continue
+                queue = MM1KQueue(
+                    rate, self.link_service_rates[link], self.link_capacities[link]
+                )
+                new_blockings[link] = queue.blocking_probability()
+            delta = max(
+                abs(new_blockings[link] - blockings[link])
+                for link in self.link_capacities
+            )
+            blockings = {
+                link: damping * new_blockings[link] + (1.0 - damping) * blockings[link]
+                for link in self.link_capacities
+            }
+            if delta < tol:
+                break
+        else:
+            raise ModelError("reduced-load fixed point did not converge")
+        self._blockings = blockings
+        return blockings
+
+    def flow_loss_rates(self) -> Dict[str, float]:
+        """Per-flow loss rate at the converged fixed point."""
+        if not self._blockings:
+            self.solve()
+        losses: Dict[str, float] = {}
+        for flow, route in self.routes.items():
+            rate = self.offered_rates.get(flow, 0.0)
+            survive = rate
+            for link in route:
+                survive = carried_rate(survive, self._blockings[link])
+            losses[flow] = rate - survive
+        return losses
+
+
+def reduced_load_fixed_point(
+    offered: Sequence[float],
+    update: Callable[[np.ndarray], np.ndarray],
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    damping: float = 0.5,
+) -> Tuple[np.ndarray, int]:
+    """Generic damped fixed-point iteration used by the bridge-rate solver.
+
+    Parameters
+    ----------
+    offered:
+        Initial rate vector.
+    update:
+        Maps the current rate vector to the next one (e.g. "solve every
+        subsystem LP, return the recomputed bridge rates").
+    damping:
+        Convex mixing weight on the new iterate, in ``(0, 1]``.
+
+    Returns
+    -------
+    (rates, iterations)
+        The converged vector and the number of iterations used.
+
+    Raises
+    ------
+    ModelError
+        If convergence is not reached within ``max_iter`` iterations.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ModelError(f"damping must be in (0, 1], got {damping}")
+    rates = np.asarray(offered, dtype=float).copy()
+    for iteration in range(1, max_iter + 1):
+        new_rates = np.asarray(update(rates), dtype=float)
+        if new_rates.shape != rates.shape:
+            raise ModelError(
+                f"update changed vector shape {rates.shape} -> {new_rates.shape}"
+            )
+        delta = float(np.abs(new_rates - rates).max()) if rates.size else 0.0
+        rates = damping * new_rates + (1.0 - damping) * rates
+        if delta < tol:
+            return rates, iteration
+    raise ModelError(
+        f"fixed point did not converge within {max_iter} iterations"
+    )

@@ -1,0 +1,48 @@
+"""Discrete-event simulator of the SoC communication sub-system.
+
+A from-scratch continuous-time simulator matching the paper's evaluation
+loop: processors emit Poisson request streams into finite buffers, each
+bus cluster's arbiter grants one buffer at a time, bridge crossings hop
+through inserted bridge buffers, and packets that find a full buffer — or
+that exceed the timeout threshold under the timeout policy — are lost.
+
+Public surface:
+
+* :func:`repro.sim.runner.simulate` — run one topology + allocation.
+* :func:`repro.sim.runner.replicate` — n seeds, aggregated statistics.
+* :class:`repro.sim.runner.SimulationResult` — per-processor losses etc.
+* Arbiters in :mod:`repro.sim.arbiter`.
+"""
+
+from repro.sim.arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    LongestQueueArbiter,
+    RoundRobinArbiter,
+    WeightedRandomArbiter,
+    make_arbiter,
+)
+from repro.sim.engine import Simulator
+from repro.sim.runner import (
+    ReplicationSummary,
+    SimulationResult,
+    replicate,
+    simulate,
+)
+from repro.sim.system import CommunicationSystem, client_name_for_bridge
+
+__all__ = [
+    "Arbiter",
+    "CommunicationSystem",
+    "FixedPriorityArbiter",
+    "LongestQueueArbiter",
+    "ReplicationSummary",
+    "RoundRobinArbiter",
+    "SimulationResult",
+    "Simulator",
+    "WeightedRandomArbiter",
+    "client_name_for_bridge",
+    "make_arbiter",
+    "replicate",
+    "simulate",
+]

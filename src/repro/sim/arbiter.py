@@ -1,0 +1,128 @@
+"""Bus arbitration policies.
+
+The arbiter decides, whenever the bus frees up, which non-empty client
+buffer is granted next.  The CTMDP solution influences the simulator
+mainly through *buffer sizes*, but the LP's bus-time shares can also be
+fed back as :class:`WeightedRandomArbiter` weights — the stochastic
+arbitration the paper derives from state-action probabilities.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.sim.buffer import FiniteBuffer
+
+
+class Arbiter(abc.ABC):
+    """Interface: pick the next buffer to serve among non-empty ones."""
+
+    @abc.abstractmethod
+    def grant(
+        self,
+        buffers: Sequence[FiniteBuffer],
+        now: float,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Index into ``buffers`` of the granted client, or None if all empty."""
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Always grant the lowest-indexed non-empty buffer.
+
+    Client order is the deterministic order the system builder uses, so
+    priorities are reproducible.
+    """
+
+    def grant(self, buffers, now, rng):
+        for i, buf in enumerate(buffers):
+            if not buf.is_empty:
+                return i
+        return None
+
+
+class RoundRobinArbiter(Arbiter):
+    """Cycle through clients starting after the last grant."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def grant(self, buffers, now, rng):
+        n = len(buffers)
+        for offset in range(1, n + 1):
+            i = (self._last + offset) % n
+            if not buffers[i].is_empty:
+                self._last = i
+                return i
+        return None
+
+
+class LongestQueueArbiter(Arbiter):
+    """Grant the fullest buffer (ties to the lowest index)."""
+
+    def grant(self, buffers, now, rng):
+        best = None
+        best_len = 0
+        for i, buf in enumerate(buffers):
+            if buf.occupancy > best_len:
+                best = i
+                best_len = buf.occupancy
+        return best
+
+
+class WeightedRandomArbiter(Arbiter):
+    """Grant a random non-empty buffer with fixed client weights.
+
+    Weights are keyed by client (buffer) name; missing names default to
+    weight one.  This realises a stationary randomised arbitration policy
+    such as the bus-time shares extracted from the CTMDP solution.
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        for name, w in weights.items():
+            if w < 0:
+                raise PolicyError(
+                    f"arbiter weight for {name!r} must be >= 0, got {w}"
+                )
+        self.weights = dict(weights)
+
+    def grant(self, buffers, now, rng):
+        candidates = [i for i, b in enumerate(buffers) if not b.is_empty]
+        if not candidates:
+            return None
+        w = np.array(
+            [self.weights.get(buffers[i].name, 1.0) for i in candidates]
+        )
+        total = w.sum()
+        if total <= 0:
+            # All-zero weights among candidates: fall back to uniform.
+            return candidates[int(rng.integers(len(candidates)))]
+        return candidates[int(rng.choice(len(candidates), p=w / total))]
+
+
+_ARBITERS = {
+    "fixed_priority": FixedPriorityArbiter,
+    "round_robin": RoundRobinArbiter,
+    "longest_queue": LongestQueueArbiter,
+}
+
+
+def make_arbiter(kind: str = "longest_queue", **kwargs) -> Arbiter:
+    """Factory from a string name (used by runner/experiment configs).
+
+    ``kind='weighted_random'`` additionally accepts ``weights=...``.
+    """
+    if kind == "weighted_random":
+        return WeightedRandomArbiter(kwargs.get("weights", {}))
+    try:
+        cls = _ARBITERS[kind]
+    except KeyError:
+        raise PolicyError(
+            f"unknown arbiter {kind!r}; choose from "
+            f"{sorted(_ARBITERS) + ['weighted_random']}"
+        ) from None
+    return cls()

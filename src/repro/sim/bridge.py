@@ -1,0 +1,69 @@
+"""Bridge-entry buffer naming and hop construction.
+
+A bridge between two buses owns one *entry buffer per direction*: a
+packet crossing from cluster A into cluster B waits in the buffer
+``"<bridge>@<entry_bus>"`` where ``entry_bus`` is the bridge endpoint
+inside cluster B.  The same canonical names are used by the sizing
+pipeline (:mod:`repro.core.splitting`), so a
+:class:`~repro.core.sizing.BufferAllocation` maps directly onto simulator
+buffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.arch.topology import Bridge, Route, Topology
+from repro.errors import TopologyError
+from repro.sim.packet import Hop
+
+
+def client_name_for_bridge(bridge_name: str, entry_bus: str) -> str:
+    """Canonical name of a bridge's entry buffer on one side."""
+    return f"{bridge_name}@{entry_bus}"
+
+
+def bridge_entry_bus(bridge: Bridge, entry_cluster: frozenset) -> str:
+    """The bridge endpoint bus that lies inside ``entry_cluster``."""
+    if bridge.bus_a in entry_cluster:
+        return bridge.bus_a
+    if bridge.bus_b in entry_cluster:
+        return bridge.bus_b
+    raise TopologyError(
+        f"bridge {bridge.name!r} has no endpoint in cluster "
+        f"{sorted(entry_cluster)}"
+    )
+
+
+def build_hops(
+    topology: Topology,
+    flow_name: str,
+    cluster_index: dict,
+) -> Tuple[Hop, ...]:
+    """The hop list a packet of ``flow_name`` traverses.
+
+    First hop: the source processor's own buffer on its cluster.  Each
+    bridge crossing appends a hop through the bridge's entry buffer on
+    the *entered* cluster.
+    """
+    flow = topology.flows[flow_name]
+    route: Route = topology.route(flow_name)
+    source = topology.processors[flow.source]
+    hops: List[Hop] = [
+        Hop(
+            cluster_index[route.clusters[0]],
+            source.name,
+            source.service_rate,
+        )
+    ]
+    for bridge_name, entered in zip(route.bridges, route.clusters[1:]):
+        bridge = topology.bridges[bridge_name]
+        entry_bus = bridge_entry_bus(bridge, entered)
+        hops.append(
+            Hop(
+                cluster_index[entered],
+                client_name_for_bridge(bridge_name, entry_bus),
+                bridge.service_rate,
+            )
+        )
+    return tuple(hops)

@@ -1,0 +1,89 @@
+"""Finite FIFO buffers with loss accounting."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.packet import Packet
+
+
+class FiniteBuffer:
+    """A finite FIFO buffer owned by one bus client.
+
+    ``capacity`` slots; :meth:`offer` returns False (and counts a loss)
+    when the buffer is full — the core loss mechanism of the paper's
+    model.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 0:
+            raise SimulationError(
+                f"buffer {name!r}: capacity must be >= 0, got {capacity}"
+            )
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        self.offered = 0
+        self.lost = 0
+        self.accepted = 0
+        # Time-weighted occupancy accumulator for mean-occupancy stats.
+        self._area = 0.0
+        self._last_change = 0.0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of queued packets."""
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    # ------------------------------------------------------------------
+
+    def _advance_area(self, now: float) -> None:
+        self._area += len(self._queue) * (now - self._last_change)
+        self._last_change = now
+
+    def offer(self, packet: Packet, now: float) -> bool:
+        """Try to enqueue; returns False and counts a loss when full."""
+        self.offered += 1
+        if self.is_full:
+            self.lost += 1
+            return False
+        self._advance_area(now)
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self.accepted += 1
+        return True
+
+    def peek(self) -> Packet:
+        """Head-of-line packet without removing it."""
+        if not self._queue:
+            raise SimulationError(f"buffer {self.name!r} is empty")
+        return self._queue[0]
+
+    def pop(self, now: float) -> Packet:
+        """Remove and return the head-of-line packet."""
+        if not self._queue:
+            raise SimulationError(f"buffer {self.name!r} is empty")
+        self._advance_area(now)
+        return self._queue.popleft()
+
+    def mean_occupancy(self, now: float) -> float:
+        """Time-average occupancy up to ``now``."""
+        if now <= 0:
+            return 0.0
+        area = self._area + len(self._queue) * (now - self._last_change)
+        return area / now

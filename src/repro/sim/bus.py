@@ -1,0 +1,146 @@
+"""Bus-cluster servers: arbitration, service, timeout dropping.
+
+One :class:`ClusterBus` models the arbiter of one bus cluster (a set of
+buses rigidly linked, sharing a single logical arbiter — exactly the unit
+the split method produces).  The bus serves one packet at a time; service
+duration is exponential with the *client's* rate (processors and bridges
+may have different transaction lengths).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.arbiter import Arbiter
+from repro.sim.buffer import FiniteBuffer
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.packet import Packet
+
+
+class ClusterBus:
+    """The shared server of one bus cluster.
+
+    Parameters
+    ----------
+    name:
+        Cluster label (for diagnostics).
+    buffers:
+        Client buffers in deterministic order (processors first, then
+        bridge entries — the order fixes fixed-priority semantics).
+    arbiter:
+        Arbitration policy instance (not shared between clusters).
+    simulator / monitor / rng:
+        Shared infrastructure.
+    on_serviced:
+        Callback invoked with each packet whose transaction completed;
+        the system routes it onward (next hop or delivery).
+    timeout_threshold:
+        If not None, a packet whose waiting time at grant instant exceeds
+        the threshold is dropped (counted via
+        :meth:`Monitor.record_timeout`) and the arbiter picks again —
+        the paper's timeout-based policy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        buffers: List[FiniteBuffer],
+        arbiter: Arbiter,
+        simulator: Simulator,
+        monitor: Monitor,
+        rng: np.random.Generator,
+        on_serviced: Callable[[Packet], None],
+        timeout_threshold: Optional[float] = None,
+    ) -> None:
+        if not buffers:
+            raise SimulationError(f"cluster {name!r} has no client buffers")
+        if timeout_threshold is not None and timeout_threshold <= 0:
+            raise SimulationError(
+                f"timeout threshold must be > 0, got {timeout_threshold}"
+            )
+        self.name = name
+        self.buffers = buffers
+        self.buffer_by_name = {b.name: b for b in buffers}
+        if len(self.buffer_by_name) != len(buffers):
+            raise SimulationError(
+                f"cluster {name!r} has duplicate buffer names"
+            )
+        self.arbiter = arbiter
+        self.simulator = simulator
+        self.monitor = monitor
+        self.rng = rng
+        self.on_serviced = on_serviced
+        self.timeout_threshold = timeout_threshold
+        self.busy = False
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to its hop buffer; kick the server if idle.
+
+        Returns False (after recording the loss) when the buffer is full.
+        """
+        buffer = self.buffer_by_name.get(packet.current_hop.client)
+        if buffer is None:
+            raise SimulationError(
+                f"cluster {self.name!r} has no buffer "
+                f"{packet.current_hop.client!r}"
+            )
+        accepted = buffer.offer(packet, self.simulator.now)
+        if not accepted:
+            self.monitor.record_loss(packet)
+            return False
+        if not self.busy:
+            self._grant_next()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _grant_next(self) -> None:
+        """Arbitrate and start the next transaction, if any work exists.
+
+        The granted packet *stays in its buffer* (occupying its slot)
+        until the transaction completes — the same convention as the
+        CTMDP occupancy model, where a request holds buffer space while
+        the bus transfers it.
+        """
+        if self.busy:
+            return
+        while True:
+            index = self.arbiter.grant(self.buffers, self.simulator.now, self.rng)
+            if index is None:
+                return
+            buffer = self.buffers[index]
+            packet = buffer.peek()
+            if (
+                self.timeout_threshold is not None
+                and self.simulator.now - packet.enqueued_at
+                > self.timeout_threshold
+            ):
+                buffer.pop(self.simulator.now)
+                self.monitor.record_timeout(packet)
+                continue  # pick another request; bus stays free this instant
+            self.monitor.record_service_start(packet, self.simulator.now)
+            self.busy = True
+            duration = self.rng.exponential(
+                1.0 / packet.current_hop.service_rate
+            )
+            self.simulator.schedule(
+                duration, lambda b=buffer, p=packet: self._complete(b, p)
+            )
+            return
+
+    def _complete(self, buffer: FiniteBuffer, packet: Packet) -> None:
+        """A transaction finished: release the slot, route, re-arbitrate."""
+        head = buffer.pop(self.simulator.now)
+        if head is not packet:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"buffer {buffer.name!r} head changed during service"
+            )
+        self.busy = False
+        self.on_serviced(packet)
+        self._grant_next()

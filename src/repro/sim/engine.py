@@ -1,0 +1,95 @@
+"""Event-heap simulation engine.
+
+A minimal, dependency-free discrete-event core: events are ``(time,
+sequence, callback)`` triples on a binary heap; ties in time break by
+insertion order so runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Simulator:
+    """The simulation clock and event queue.
+
+    Components schedule callbacks with :meth:`schedule` (relative delay)
+    or :meth:`schedule_at` (absolute time); :meth:`run_until` advances the
+    clock, executing events in order.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._sequence = itertools.count()
+        self._cancelled: set = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callback) -> int:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns an event id usable with :meth:`cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callback) -> int:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}"
+            )
+        event_id = next(self._sequence)
+        heapq.heappush(self._queue, (when, event_id, callback))
+        return event_id
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        self._cancelled.add(event_id)
+
+    def run_until(self, end_time: float) -> None:
+        """Execute events in order until the clock reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are executed.  The clock
+        finishes at ``end_time`` even if the queue drains early.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end time {end_time} is before now {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= end_time:
+            when, event_id, callback = heapq.heappop(self._queue)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self._now = when
+            callback()
+        self._now = end_time
+
+    def step(self) -> bool:
+        """Execute exactly one event; returns False when queue is empty."""
+        while self._queue:
+            when, event_id, callback = heapq.heappop(self._queue)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self._now = when
+            callback()
+            return True
+        return False

@@ -1,0 +1,54 @@
+"""Packets (bus requests) and their multi-hop itineraries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One leg of a packet's journey.
+
+    Attributes
+    ----------
+    cluster_index:
+        Index of the bus cluster whose arbiter serves this leg.
+    client:
+        Name of the buffer the packet waits in (a processor name for the
+        first hop, a bridge-entry buffer name afterwards).
+    service_rate:
+        Exponential service rate of this leg's bus transaction.
+    """
+
+    cluster_index: int
+    client: str
+    service_rate: float
+
+
+@dataclass
+class Packet:
+    """A single request travelling through the communication sub-system."""
+
+    packet_id: int
+    flow: str
+    source: str
+    destination: str
+    hops: Tuple[Hop, ...]
+    created_at: float
+    hop_index: int = 0
+    enqueued_at: float = 0.0
+
+    @property
+    def current_hop(self) -> Hop:
+        """The hop the packet is currently waiting on."""
+        return self.hops[self.hop_index]
+
+    @property
+    def is_last_hop(self) -> bool:
+        """True when serving the current hop completes delivery."""
+        return self.hop_index == len(self.hops) - 1
+
+    def advance(self) -> None:
+        """Move to the next hop (after a non-final service completes)."""
+        self.hop_index += 1

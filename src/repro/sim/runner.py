@@ -1,0 +1,186 @@
+"""High-level simulation entry points and replication statistics.
+
+The paper repeats every experiment for 10 iterations; :func:`replicate`
+is that loop, with independent seeds and mean/confidence aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.topology import Topology
+from repro.errors import SimulationError
+from repro.sim.system import CommunicationSystem
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Loss counts are attributed to the *source* processor of each lost
+    packet, matching Figure 3's per-processor bars.
+    """
+
+    duration: float
+    offered: Dict[str, int]
+    lost: Dict[str, int]
+    timed_out: Dict[str, int]
+    delivered: Dict[str, int]
+    mean_waiting_time: float
+    mean_end_to_end: float
+
+    @property
+    def total_lost(self) -> int:
+        """Total packets lost anywhere."""
+        return sum(self.lost.values())
+
+    @property
+    def total_offered(self) -> int:
+        """Total packets generated."""
+        return sum(self.offered.values())
+
+    def loss_rate(self, processor: str) -> float:
+        """Losses per unit time for one processor."""
+        return self.lost.get(processor, 0) / self.duration
+
+    def total_loss_rate(self) -> float:
+        """System-wide losses per unit time."""
+        return self.total_lost / self.duration
+
+    def loss_fraction(self) -> float:
+        """Fraction of offered packets that were lost."""
+        if self.total_offered == 0:
+            return 0.0
+        return self.total_lost / self.total_offered
+
+
+def simulate(
+    topology: Topology,
+    capacities: Dict[str, int],
+    duration: float = 10_000.0,
+    seed: int = 0,
+    arbiter_kind: str = "longest_queue",
+    arbiter_weights: Optional[Dict[str, float]] = None,
+    timeout_threshold: Optional[float] = None,
+    warmup: float = 0.0,
+) -> SimulationResult:
+    """Run one simulation and collect per-processor statistics.
+
+    ``warmup`` discards an initial transient: statistics are measured only
+    on the ``[warmup, warmup + duration]`` window by running a first
+    segment and snapshotting counters.
+    """
+    if warmup < 0:
+        raise SimulationError(f"warmup must be >= 0, got {warmup}")
+    system = CommunicationSystem(
+        topology,
+        capacities,
+        arbiter_kind=arbiter_kind,
+        arbiter_weights=arbiter_weights,
+        timeout_threshold=timeout_threshold,
+        seed=seed,
+    )
+    for source in system.sources:
+        source.start()
+    baseline_offered: Dict[str, int] = {}
+    baseline_lost: Dict[str, int] = {}
+    baseline_timeout: Dict[str, int] = {}
+    baseline_delivered: Dict[str, int] = {}
+    if warmup > 0:
+        system.simulator.run_until(warmup)
+        baseline_offered = dict(system.monitor.offered)
+        baseline_lost = dict(system.monitor.lost)
+        baseline_timeout = dict(system.monitor.timed_out)
+        baseline_delivered = dict(system.monitor.delivered)
+    system.simulator.run_until(warmup + duration)
+    monitor = system.monitor
+    offered = {
+        p: monitor.offered.get(p, 0) - baseline_offered.get(p, 0)
+        for p in topology.processors
+    }
+    lost = {
+        p: monitor.lost.get(p, 0) - baseline_lost.get(p, 0)
+        for p in topology.processors
+    }
+    timed_out = {
+        p: monitor.timed_out.get(p, 0) - baseline_timeout.get(p, 0)
+        for p in topology.processors
+    }
+    delivered = {
+        p: monitor.delivered.get(p, 0) - baseline_delivered.get(p, 0)
+        for p in topology.processors
+    }
+    return SimulationResult(
+        duration=duration,
+        offered=offered,
+        lost=lost,
+        timed_out=timed_out,
+        delivered=delivered,
+        mean_waiting_time=monitor.mean_waiting_time(),
+        mean_end_to_end=monitor.mean_end_to_end(),
+    )
+
+
+@dataclass
+class ReplicationSummary:
+    """Mean and spread of per-processor losses over replications."""
+
+    results: List[SimulationResult]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise SimulationError("no replications supplied")
+
+    @property
+    def num_replications(self) -> int:
+        return len(self.results)
+
+    def mean_loss(self, processor: str) -> float:
+        """Average loss count of one processor across replications."""
+        return float(
+            np.mean([r.lost.get(processor, 0) for r in self.results])
+        )
+
+    def mean_total_loss(self) -> float:
+        """Average total loss count across replications."""
+        return float(np.mean([r.total_lost for r in self.results]))
+
+    def std_total_loss(self) -> float:
+        """Sample standard deviation of total losses."""
+        values = [r.total_lost for r in self.results]
+        if len(values) < 2:
+            return 0.0
+        return float(np.std(values, ddof=1))
+
+    def mean_loss_by_processor(self, processors: List[str]) -> Dict[str, float]:
+        """Mean loss count per processor, in the given order."""
+        return {p: self.mean_loss(p) for p in processors}
+
+
+def replicate(
+    topology: Topology,
+    capacities: Dict[str, int],
+    replications: int = 10,
+    duration: float = 10_000.0,
+    base_seed: int = 0,
+    **kwargs,
+) -> ReplicationSummary:
+    """Run ``replications`` independent simulations (the paper's 10 iterations)."""
+    if replications < 1:
+        raise SimulationError(
+            f"replications must be >= 1, got {replications}"
+        )
+    results = [
+        simulate(
+            topology,
+            capacities,
+            duration=duration,
+            seed=base_seed + 1000 * r,
+            **kwargs,
+        )
+        for r in range(replications)
+    ]
+    return ReplicationSummary(results)

@@ -1,0 +1,190 @@
+"""Assembling a runnable simulator from a topology and an allocation.
+
+:class:`CommunicationSystem` wires together flow sources, finite buffers,
+cluster buses and the monitor.  Buffer capacities come from an allocation
+mapping ``client name -> slots``; client names are processor names and
+canonical bridge-entry names (:func:`repro.sim.bridge.client_name_for_bridge`),
+the same vocabulary :mod:`repro.core.splitting` uses — so the CTMDP sizing
+output plugs straight in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.topology import Topology
+from repro.errors import SimulationError
+from repro.sim.arbiter import Arbiter, make_arbiter
+from repro.sim.bridge import (
+    bridge_entry_bus,
+    build_hops,
+    client_name_for_bridge,
+)
+from repro.sim.buffer import FiniteBuffer
+from repro.sim.bus import ClusterBus
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.packet import Packet
+from repro.sim.processor import FlowSource
+
+
+def required_clients(topology: Topology) -> List[str]:
+    """All buffer client names a topology needs, in deterministic order.
+
+    Processors (sorted) first, then every bridge direction that at least
+    one flow actually crosses plus — for sizing headroom — every bridge
+    direction at all.
+    """
+    names = sorted(topology.processors)
+    bridge_names = []
+    for bridge in sorted(topology.bridges.values(), key=lambda b: b.name):
+        bridge_names.append(client_name_for_bridge(bridge.name, bridge.bus_a))
+        bridge_names.append(client_name_for_bridge(bridge.name, bridge.bus_b))
+    return names + bridge_names
+
+
+class CommunicationSystem:
+    """A fully wired simulator instance.
+
+    Parameters
+    ----------
+    topology:
+        Validated architecture description.
+    capacities:
+        ``client name -> buffer slots``.  Every processor must be present;
+        bridge-entry buffers missing from the map default to zero slots
+        (no buffer inserted => all crossing traffic is lost), which makes
+        forgetting bridge insertion loudly visible in results.
+    arbiter_kind:
+        Name understood by :func:`repro.sim.arbiter.make_arbiter`; each
+        cluster gets its own instance.
+    arbiter_weights:
+        Only for ``weighted_random``: client-name weights.
+    timeout_threshold:
+        Enables the paper's timeout-based dropping policy on every
+        cluster.
+    seed:
+        Master seed; flow sources and cluster buses draw independent
+        substreams.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        capacities: Dict[str, int],
+        arbiter_kind: str = "longest_queue",
+        arbiter_weights: Optional[Dict[str, float]] = None,
+        timeout_threshold: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        topology.validate()
+        self.topology = topology
+        self.simulator = Simulator()
+        self.monitor = Monitor()
+        self.clusters = topology.bus_clusters()
+        cluster_index = {c: i for i, c in enumerate(self.clusters)}
+
+        missing = [
+            p for p in topology.processors if p not in capacities
+        ]
+        if missing:
+            raise SimulationError(
+                f"allocation missing processor buffers: {sorted(missing)}"
+            )
+
+        seed_seq = np.random.SeedSequence(seed)
+        children = seed_seq.spawn(len(self.clusters) + len(topology.flows))
+        bus_streams = children[: len(self.clusters)]
+        flow_streams = children[len(self.clusters):]
+
+        # Build buffers per cluster: processors (sorted), then bridge
+        # entries (sorted by canonical name).
+        self.buses: List[ClusterBus] = []
+        self._buffers: Dict[str, FiniteBuffer] = {}
+        for i, cluster in enumerate(self.clusters):
+            buffers: List[FiniteBuffer] = []
+            for proc in topology.cluster_processors(cluster):
+                buf = FiniteBuffer(proc.name, int(capacities[proc.name]))
+                buffers.append(buf)
+                self._buffers[proc.name] = buf
+            entry_names = []
+            for bridge in topology.cluster_bridges(cluster):
+                if bridge.bus_a in cluster or bridge.bus_b in cluster:
+                    try:
+                        entry_bus = bridge_entry_bus(bridge, cluster)
+                    except Exception:  # pragma: no cover - defensive
+                        continue
+                    entry_names.append(
+                        client_name_for_bridge(bridge.name, entry_bus)
+                    )
+            for name in sorted(entry_names):
+                buf = FiniteBuffer(name, int(capacities.get(name, 0)))
+                buffers.append(buf)
+                self._buffers[name] = buf
+            arbiter = make_arbiter(
+                arbiter_kind, weights=arbiter_weights or {}
+            ) if arbiter_kind == "weighted_random" else make_arbiter(
+                arbiter_kind
+            )
+            self.buses.append(
+                ClusterBus(
+                    name=f"cluster{i}",
+                    buffers=buffers,
+                    arbiter=arbiter,
+                    simulator=self.simulator,
+                    monitor=self.monitor,
+                    rng=np.random.default_rng(bus_streams[i]),
+                    on_serviced=self._route_onward,
+                    timeout_threshold=timeout_threshold,
+                )
+            )
+
+        # Flow sources.
+        self.sources: List[FlowSource] = []
+        for stream, flow_name in zip(flow_streams, sorted(topology.flows)):
+            flow = topology.flows[flow_name]
+            hops = build_hops(topology, flow_name, cluster_index)
+            self.sources.append(
+                FlowSource(
+                    flow=flow,
+                    hops=hops,
+                    simulator=self.simulator,
+                    rng=np.random.default_rng(stream),
+                    deliver=self._inject,
+                )
+            )
+
+    # ------------------------------------------------------------------
+
+    def _inject(self, packet: Packet) -> None:
+        """A fresh packet enters its source buffer."""
+        self.monitor.record_offered(packet)
+        self.buses[packet.current_hop.cluster_index].enqueue(packet)
+
+    def _route_onward(self, packet: Packet) -> None:
+        """A serviced packet either advances a hop or is delivered."""
+        if packet.is_last_hop:
+            self.monitor.record_delivery(packet, self.simulator.now)
+            return
+        packet.advance()
+        self.buses[packet.current_hop.cluster_index].enqueue(packet)
+
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> Monitor:
+        """Start all sources and run for ``duration`` time units."""
+        if duration <= 0:
+            raise SimulationError(f"duration must be > 0, got {duration}")
+        for source in self.sources:
+            source.start()
+        self.simulator.run_until(duration)
+        return self.monitor
+
+    def buffer(self, name: str) -> FiniteBuffer:
+        """Access a buffer by client name (stats inspection)."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise SimulationError(f"unknown buffer {name!r}") from None

@@ -1,0 +1,104 @@
+"""Event tracing for simulator debugging and validation.
+
+A :class:`TraceRecorder` hooks the monitor's recording points and keeps
+a bounded, structured log of packet-level events — the tool you reach
+for when a loss count looks wrong.  Disabled by default everywhere; the
+validation harness (:mod:`repro.analysis.validation`) and a few tests
+use it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.monitor import Monitor
+from repro.sim.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded packet event."""
+
+    time: float
+    kind: str  # offered | loss | timeout | service | delivery
+    packet_id: int
+    flow: str
+    source: str
+    hop_client: str
+
+
+class TraceRecorder(Monitor):
+    """A Monitor that additionally keeps a bounded event log.
+
+    Drop-in replacement for :class:`~repro.sim.monitor.Monitor`; pass it
+    to :class:`~repro.sim.system.CommunicationSystem` by assigning to
+    ``system.monitor`` before running (the components hold a reference
+    to the same object).
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        super().__init__()
+        if max_events < 1:
+            raise SimulationError("max_events must be >= 1")
+        self.max_events = max_events
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._clock = 0.0
+
+    def set_clock(self, now: float) -> None:
+        """Update the recorder's notion of time (offered events carry it)."""
+        self._clock = now
+
+    def _log(self, kind: str, packet: Packet, time: Optional[float] = None) -> None:
+        self.events.append(
+            TraceEvent(
+                time=self._clock if time is None else time,
+                kind=kind,
+                packet_id=packet.packet_id,
+                flow=packet.flow,
+                source=packet.source,
+                hop_client=packet.current_hop.client,
+            )
+        )
+
+    # -- Monitor overrides ------------------------------------------------
+
+    def record_offered(self, packet: Packet) -> None:
+        super().record_offered(packet)
+        self._log("offered", packet, time=packet.created_at)
+
+    def record_loss(self, packet: Packet) -> None:
+        super().record_loss(packet)
+        self._log("loss", packet)
+
+    def record_timeout(self, packet: Packet) -> None:
+        super().record_timeout(packet)
+        self._log("timeout", packet)
+
+    def record_service_start(self, packet: Packet, now: float) -> None:
+        super().record_service_start(packet, now)
+        self._log("service", packet, time=now)
+
+    def record_delivery(self, packet: Packet, now: float) -> None:
+        super().record_delivery(packet, now)
+        self._log("delivery", packet, time=now)
+
+    # -- queries -----------------------------------------------------------
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, oldest first."""
+        return [e for e in self.events if e.kind == kind]
+
+    def loss_sites(self) -> Dict[str, int]:
+        """Loss counts by the buffer at which the drop happened."""
+        return dict(
+            Counter(e.hop_client for e in self.events if e.kind in (
+                "loss", "timeout"
+            ))
+        )
+
+    def packet_history(self, packet_id: int) -> List[TraceEvent]:
+        """Every recorded event of one packet, in order."""
+        return [e for e in self.events if e.packet_id == packet_id]

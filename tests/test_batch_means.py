@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.batch_means."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch_means import (
+    BatchMeansEstimate,
+    batch_means,
+    loss_rate_batch_means,
+)
+from repro.arch.templates import single_bus
+from repro.errors import ReproError
+from repro.queueing.mm1k import MM1KQueue
+from repro.arch.topology import Topology
+
+
+class TestBatchMeans:
+    def test_iid_normal_coverage(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, size=40)
+        mean, half, rho1 = batch_means(data)
+        assert abs(mean - 5.0) < 1.0
+        assert half > 0
+        assert abs(rho1) < 0.5
+
+    def test_constant_batches(self):
+        mean, half, rho1 = batch_means(np.full(10, 3.0))
+        assert mean == 3.0
+        assert half == 0.0
+        assert rho1 == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            batch_means(np.array([1.0]))
+        with pytest.raises(ReproError):
+            batch_means(np.array([1.0, 2.0]), confidence=1.5)
+
+
+class TestLossRateBatchMeans:
+    def make_queue(self, lam=2.5, mu=2.0):
+        topo = Topology("q")
+        topo.add_bus("x")
+        topo.add_processor("src", "x", service_rate=mu)
+        topo.add_processor("dst", "x", service_rate=mu)
+        topo.add_poisson_flow("f", "src", "dst", lam)
+        return topo
+
+    def test_interval_contains_analytic_loss(self):
+        lam, mu, k = 2.5, 2.0, 3
+        topo = self.make_queue(lam, mu)
+        estimate = loss_rate_batch_means(
+            topo, {"src": k, "dst": 1},
+            total_duration=30_000.0, num_batches=15, seed=5,
+        )
+        analytic = MM1KQueue(lam, mu, k).loss_rate()
+        lo, hi = estimate.interval
+        # Allow a whisker outside the CI (finite batches).
+        span = max(hi - lo, 0.05 * analytic)
+        assert lo - span <= analytic <= hi + span
+
+    def test_estimate_structure(self):
+        topo = self.make_queue()
+        estimate = loss_rate_batch_means(
+            topo, {"src": 2, "dst": 1},
+            total_duration=5_000.0, num_batches=10,
+        )
+        assert isinstance(estimate, BatchMeansEstimate)
+        assert estimate.num_batches == 10
+        assert estimate.batch_length > 0
+        assert estimate.mean >= 0
+        assert -1.0 <= estimate.lag1_autocorrelation <= 1.0
+
+    def test_validation(self):
+        topo = self.make_queue()
+        caps = {"src": 2, "dst": 1}
+        with pytest.raises(ReproError):
+            loss_rate_batch_means(topo, caps, num_batches=1)
+        with pytest.raises(ReproError):
+            loss_rate_batch_means(topo, caps, total_duration=0.0)
+        with pytest.raises(ReproError):
+            loss_rate_batch_means(topo, caps, warmup_fraction=1.0)

@@ -1,0 +1,78 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.arch.dsl import serialize_topology
+from repro.arch.templates import amba_like
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def arch_file(tmp_path):
+    path = tmp_path / "amba.soc"
+    path.write_text(serialize_topology(amba_like()))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_size_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["size", "arch.soc"])
+
+    def test_policy_choices(self):
+        args = build_parser().parse_args(
+            ["simulate", "a.soc", "--budget", "8", "--policy", "uniform"]
+        )
+        assert args.policy == "uniform"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "a.soc", "--budget", "8", "--policy", "zzz"]
+            )
+
+
+class TestCommands:
+    def test_inspect(self, arch_file, capsys):
+        assert main(["inspect", arch_file]) == 0
+        out = capsys.readouterr().out
+        assert "clusters:" in out
+        assert "cpu" in out
+
+    def test_size(self, arch_file, capsys):
+        assert main(["size", arch_file, "--budget", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "# allocation" in out
+        assert "expected loss rate" in out
+        sizes = [
+            int(line.split()[1])
+            for line in out.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert sum(sizes) == 14
+
+    def test_simulate(self, arch_file, capsys):
+        code = main([
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "proportional", "--duration", "300",
+            "--reps", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean total loss" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["inspect", "/nonexistent/arch.soc"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_architecture(self, tmp_path, capsys):
+        bad = tmp_path / "bad.soc"
+        bad.write_text("soc x\nbogus\n")
+        assert main(["inspect", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_infeasible_budget(self, arch_file, capsys):
+        assert main(["size", arch_file, "--budget", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,119 @@
+"""Tests for repro.core.ctmdp."""
+
+import numpy as np
+import pytest
+
+from repro.core.ctmdp import CTMDP
+from repro.errors import ModelError
+
+
+def make_two_state_mdp():
+    """States 'lo'/'hi'; in 'lo' choose slow/fast ramp-up."""
+    m = CTMDP()
+    m.add_action("lo", "slow", [("hi", 1.0)], cost_rate=0.0)
+    m.add_action("lo", "fast", [("hi", 5.0)], cost_rate=2.0)
+    m.add_action("hi", "drain", [("lo", 3.0)], cost_rate=1.0)
+    return m
+
+
+class TestConstruction:
+    def test_states_registered_in_order(self):
+        m = make_two_state_mdp()
+        assert m.states == ["lo", "hi"]
+        assert m.num_states == 2
+
+    def test_state_action_count(self):
+        m = make_two_state_mdp()
+        assert m.num_state_actions == 3
+
+    def test_duplicate_action_rejected(self):
+        m = make_two_state_mdp()
+        with pytest.raises(ModelError, match="duplicate action"):
+            m.add_action("lo", "slow", [("hi", 1.0)])
+
+    def test_negative_rate_rejected(self):
+        m = CTMDP()
+        with pytest.raises(ModelError, match="negative rate"):
+            m.add_action("a", "x", [("b", -1.0)])
+
+    def test_self_loops_dropped(self):
+        m = CTMDP()
+        m.add_action("a", "x", [("a", 5.0), ("b", 1.0)])
+        m.add_action("b", "x", [("a", 1.0)])
+        assert [t.target for t in m.transitions("a", "x")] == ["b"]
+
+    def test_zero_rate_transitions_dropped(self):
+        m = CTMDP()
+        m.add_action("a", "x", [("b", 0.0), ("c", 1.0)])
+        m.add_action("b", "x", [])
+        m.add_action("c", "x", [("a", 1.0)])
+        assert [t.target for t in m.transitions("a", "x")] == ["c"]
+
+    def test_targets_autoregistered(self):
+        m = CTMDP()
+        m.add_action("a", "x", [("b", 1.0)])
+        assert "b" in m.states
+
+    def test_unknown_lookups(self):
+        m = make_two_state_mdp()
+        with pytest.raises(ModelError):
+            m.state_index("zzz")
+        with pytest.raises(ModelError):
+            m.actions("zzz")
+        with pytest.raises(ModelError):
+            m.transitions("lo", "zzz")
+        with pytest.raises(ModelError):
+            m.cost_rate("lo", "zzz")
+
+    def test_constraint_rates(self):
+        m = CTMDP()
+        m.add_action("a", "x", [("b", 1.0)], constraint_rates={"space": 2.0})
+        m.add_action("b", "x", [("a", 1.0)])
+        assert m.constraint_rate("space", "a", "x") == 2.0
+        assert m.constraint_rate("space", "b", "x") == 0.0
+        assert m.constraint_names == ["space"]
+
+
+class TestValidation:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError, match="no states"):
+            CTMDP().validate()
+
+    def test_state_without_action_rejected(self):
+        m = CTMDP()
+        m.add_action("a", "x", [("b", 1.0)])  # b has no actions
+        with pytest.raises(ModelError, match="no actions"):
+            m.validate()
+
+    def test_valid_model_passes(self):
+        make_two_state_mdp().validate()
+
+
+class TestUniformization:
+    def test_rows_stochastic(self):
+        m = make_two_state_mdp()
+        p, c, pairs, rate = m.uniformized()
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+        assert len(pairs) == 3
+
+    def test_rate_covers_max_exit(self):
+        m = make_two_state_mdp()
+        _p, _c, _pairs, rate = m.uniformized()
+        assert rate >= 5.0
+
+    def test_costs_scaled(self):
+        m = make_two_state_mdp()
+        _p, c, pairs, rate = m.uniformized(rate=10.0)
+        k = pairs.index(("lo", "fast"))
+        assert c[k] == pytest.approx(0.2)
+
+    def test_explicit_small_rate_rejected(self):
+        m = make_two_state_mdp()
+        with pytest.raises(ModelError, match="below max exit"):
+            m.uniformized(rate=1.0)
+
+    def test_exit_and_max_exit(self):
+        m = make_two_state_mdp()
+        assert m.exit_rate("lo", "fast") == pytest.approx(5.0)
+        assert m.max_exit_rate() == pytest.approx(5.0)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.dp — DP solvers and LP cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
+from repro.core.ctmdp import CTMDP
+from repro.core.dp import policy_iteration, relative_value_iteration
+from repro.core.lp import AverageCostLP
+
+
+def make_switch_mdp(cost_fast=2.0):
+    m = CTMDP()
+    m.add_action("lo", "slow", [("hi", 1.0)], cost_rate=0.0)
+    m.add_action("lo", "fast", [("hi", 5.0)], cost_rate=cost_fast)
+    m.add_action("hi", "drain", [("lo", 3.0)], cost_rate=1.0)
+    return m
+
+
+class TestRelativeValueIteration:
+    def test_picks_cheap_action(self):
+        m = make_switch_mdp(cost_fast=100.0)
+        solution = relative_value_iteration(m)
+        assert solution.policy.action_probabilities("lo") == {"slow": 1.0}
+
+    def test_cost_matches_policy_evaluation(self):
+        m = make_switch_mdp()
+        solution = relative_value_iteration(m)
+        assert solution.average_cost_rate == pytest.approx(
+            solution.policy.average_cost_rate(), abs=1e-7
+        )
+
+    def test_bias_normalised(self):
+        m = make_switch_mdp()
+        solution = relative_value_iteration(m)
+        assert solution.bias[0] == pytest.approx(0.0)
+
+    def test_matches_lp_on_bus_model(self):
+        clients = [
+            BusClient("a", 1.0, 2.0, 2, loss_weight=5.0),
+            BusClient("b", 0.7, 1.5, 2, loss_weight=1.0),
+        ]
+        model = build_joint_bus_ctmdp(clients)
+        lp = AverageCostLP(model).solve()
+        vi = relative_value_iteration(model, tol=1e-11)
+        assert vi.average_cost_rate == pytest.approx(
+            lp.objective, abs=1e-6
+        )
+
+
+class TestPolicyIteration:
+    def test_picks_cheap_action(self):
+        m = make_switch_mdp(cost_fast=100.0)
+        solution = policy_iteration(m)
+        assert solution.policy.action_probabilities("lo") == {"slow": 1.0}
+
+    def test_matches_value_iteration(self):
+        m = make_switch_mdp()
+        vi = relative_value_iteration(m)
+        pi = policy_iteration(m)
+        assert pi.average_cost_rate == pytest.approx(
+            vi.average_cost_rate, abs=1e-7
+        )
+
+    def test_matches_lp_on_bus_model(self):
+        clients = [
+            BusClient("a", 1.2, 2.0, 2, loss_weight=3.0),
+            BusClient("b", 0.5, 1.0, 3, loss_weight=1.0),
+        ]
+        model = build_joint_bus_ctmdp(clients)
+        lp = AverageCostLP(model).solve()
+        pi = policy_iteration(model)
+        assert pi.average_cost_rate == pytest.approx(
+            lp.objective, abs=1e-7
+        )
+
+    def test_terminates_quickly(self):
+        clients = [
+            BusClient("a", 1.0, 2.0, 3),
+            BusClient("b", 1.0, 2.0, 3),
+        ]
+        model = build_joint_bus_ctmdp(clients)
+        solution = policy_iteration(model)
+        assert solution.iterations < 50
+
+
+class TestTriSolverAgreement:
+    """LP, VI and PI must agree on random small bus instances."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        clients = [
+            BusClient(
+                f"c{i}",
+                arrival_rate=float(rng.uniform(0.3, 2.0)),
+                service_rate=float(rng.uniform(1.0, 3.0)),
+                capacity=int(rng.integers(1, 3)),
+                loss_weight=float(rng.uniform(0.5, 4.0)),
+            )
+            for i in range(2)
+        ]
+        model = build_joint_bus_ctmdp(clients)
+        lp = AverageCostLP(model).solve().objective
+        vi = relative_value_iteration(model, tol=1e-11).average_cost_rate
+        pi = policy_iteration(model).average_cost_rate
+        assert vi == pytest.approx(lp, abs=1e-6)
+        assert pi == pytest.approx(lp, abs=1e-6)

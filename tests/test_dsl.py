@@ -1,0 +1,122 @@
+"""Tests for repro.arch.dsl."""
+
+import pytest
+
+from repro.arch.dsl import parse_topology, serialize_topology
+from repro.arch.templates import amba_like, paper_figure1
+from repro.arch.traffic import OnOffTraffic, PoissonTraffic
+from repro.errors import TopologyError
+
+VALID = """
+# a miniature AMBA
+soc amba-mini
+bus ahb
+bus apb
+bridge ahb2apb ahb apb service=3.0
+processor cpu ahb service=10.0
+processor uart apb service=2.0 weight=2.0
+flow cpu_uart cpu uart rate=0.8
+flow uart_cpu uart cpu onoff peak=2.0 on=1.0 off=3.0
+"""
+
+
+class TestParse:
+    def test_valid_parses(self):
+        topo = parse_topology(VALID)
+        assert topo.name == "amba-mini"
+        assert set(topo.buses) == {"ahb", "apb"}
+        assert topo.processors["uart"].loss_weight == 2.0
+        assert isinstance(topo.flows["cpu_uart"].traffic, PoissonTraffic)
+        assert isinstance(topo.flows["uart_cpu"].traffic, OnOffTraffic)
+
+    def test_comments_and_blank_lines_ignored(self):
+        topo = parse_topology("# hi\n\n" + VALID)
+        assert topo.name == "amba-mini"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="empty"):
+            parse_topology("\n# only comments\n")
+
+    def test_soc_must_be_first(self):
+        with pytest.raises(TopologyError, match="first directive"):
+            parse_topology("bus x\nsoc s\n")
+
+    def test_duplicate_soc(self):
+        with pytest.raises(TopologyError, match="duplicate 'soc'"):
+            parse_topology("soc a\nsoc b\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(TopologyError, match="unknown directive"):
+            parse_topology("soc a\nwidget x\n")
+
+    def test_missing_rate(self):
+        text = VALID.replace("rate=0.8", "")
+        with pytest.raises(TopologyError, match="missing rate="):
+            parse_topology(text)
+
+    def test_bad_number(self):
+        text = VALID.replace("rate=0.8", "rate=banana")
+        with pytest.raises(TopologyError, match="not a number"):
+            parse_topology(text)
+
+    def test_bad_kwarg(self):
+        text = VALID.replace("rate=0.8", "zzz")
+        with pytest.raises(TopologyError, match="key=value"):
+            parse_topology(text)
+
+    def test_line_number_reported(self):
+        with pytest.raises(TopologyError, match="line 3"):
+            parse_topology("soc a\nbus x\nbogus y\n")
+
+    def test_hyper_flow(self):
+        text = VALID + "flow h cpu uart hyper r1=1.0 r2=4.0 p1=0.3\n"
+        topo = parse_topology(text)
+        assert topo.flows["h"].rate > 0
+
+    def test_semantic_errors_propagate(self):
+        text = "soc a\nbus x\nprocessor p nope service=1.0\n"
+        with pytest.raises(TopologyError, match="unknown bus"):
+            parse_topology(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [amba_like, paper_figure1])
+    def test_template_roundtrip(self, factory):
+        original = factory()
+        text = serialize_topology(original)
+        rebuilt = parse_topology(text)
+        assert set(rebuilt.buses) == set(original.buses)
+        assert set(rebuilt.processors) == set(original.processors)
+        assert set(rebuilt.bridges) == set(original.bridges)
+        assert set(rebuilt.flows) == set(original.flows)
+        for name, flow in original.flows.items():
+            assert rebuilt.flows[name].rate == pytest.approx(flow.rate)
+        # Routes (and therefore subsystems) must be preserved exactly.
+        for name in original.flows:
+            assert rebuilt.route(name).bridges == original.route(name).bridges
+
+    def test_parsed_roundtrip_stable(self):
+        topo = parse_topology(VALID)
+        text1 = serialize_topology(topo)
+        text2 = serialize_topology(parse_topology(text1))
+        assert text1 == text2
+
+    def test_custom_traffic_rejected(self):
+        from repro.arch.topology import Topology
+        from repro.arch.traffic import TrafficDescriptor
+
+        class Weird(TrafficDescriptor):
+            @property
+            def mean_rate(self):
+                return 1.0
+
+            def sample_interarrivals(self, rng, count):
+                raise NotImplementedError
+
+        topo = Topology("t")
+        topo.add_bus("x")
+        topo.add_processor("a", "x", 1.0)
+        topo.add_processor("b", "x", 1.0)
+        topo.add_flow("f", "a", "b", Weird())
+        with pytest.raises(TopologyError, match="cannot be serialised"):
+            serialize_topology(topo)

@@ -1,0 +1,114 @@
+"""Tests for repro.queueing.erlang."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_b_inverse,
+    erlang_c,
+    offered_load_for_blocking,
+)
+
+
+class TestErlangB:
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(2.5, 0) == 1.0
+
+    def test_zero_load_never_blocks(self):
+        assert erlang_b(0.0, 3) == 0.0
+
+    def test_one_server_closed_form(self):
+        e = 1.5
+        assert erlang_b(e, 1) == pytest.approx(e / (1 + e))
+
+    def test_known_value(self):
+        # Classic table value: B(E=10, c=10) ~ 0.2146.
+        assert erlang_b(10.0, 10) == pytest.approx(0.2146, abs=2e-4)
+
+    def test_matches_direct_formula_small(self):
+        e, c = 2.0, 4
+        numer = e**c / math.factorial(c)
+        denom = sum(e**k / math.factorial(k) for k in range(c + 1))
+        assert erlang_b(e, c) == pytest.approx(numer / denom)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            erlang_b(-1.0, 2)
+        with pytest.raises(ModelError):
+            erlang_b(1.0, -2)
+
+    @given(
+        e=st.floats(min_value=0.01, max_value=50.0),
+        c=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_in_unit_interval(self, e, c):
+        b = erlang_b(e, c)
+        assert 0.0 <= b <= 1.0
+
+    @given(
+        e=st.floats(min_value=0.01, max_value=50.0),
+        c=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_monotone_in_servers(self, e, c):
+        assert erlang_b(e, c + 1) <= erlang_b(e, c) + 1e-15
+
+
+class TestErlangC:
+    def test_known_value(self):
+        # C(E=2, c=3): B(2,3)=0.21053, rho=2/3 => C = 0.44444.
+        assert erlang_c(2.0, 3) == pytest.approx(0.44444, abs=2e-4)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            erlang_c(3.0, 3)  # unstable
+        with pytest.raises(ModelError):
+            erlang_c(1.0, 0)
+        with pytest.raises(ModelError):
+            erlang_c(-1.0, 2)
+
+    def test_erlang_c_at_least_erlang_b(self):
+        assert erlang_c(2.0, 4) >= erlang_b(2.0, 4)
+
+
+class TestInverses:
+    def test_erlang_b_inverse_roundtrip(self):
+        e, target = 5.0, 0.01
+        c = erlang_b_inverse(e, target)
+        assert erlang_b(e, c) <= target
+        assert erlang_b(e, c - 1) > target
+
+    def test_erlang_b_inverse_zero_load(self):
+        assert erlang_b_inverse(0.0, 0.01) == 0
+
+    def test_erlang_b_inverse_validation(self):
+        with pytest.raises(ModelError):
+            erlang_b_inverse(1.0, 0.0)
+        with pytest.raises(ModelError):
+            erlang_b_inverse(-1.0, 0.5)
+
+    def test_offered_load_roundtrip(self):
+        c, target = 8, 0.05
+        e = offered_load_for_blocking(c, target)
+        assert erlang_b(e, c) == pytest.approx(target, rel=1e-6)
+
+    def test_offered_load_validation(self):
+        with pytest.raises(ModelError):
+            offered_load_for_blocking(0, 0.1)
+        with pytest.raises(ModelError):
+            offered_load_for_blocking(3, 1.5)
+
+    @given(
+        c=st.integers(min_value=1, max_value=30),
+        target=st.floats(min_value=1e-4, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_offered_load_positive(self, c, target):
+        e = offered_load_for_blocking(c, target)
+        assert e > 0

@@ -1,0 +1,44 @@
+"""Tests for the shared error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    InfeasibleError,
+    ModelError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TopologyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            ModelError,
+            TopologyError,
+            SolverError,
+            InfeasibleError,
+            SimulationError,
+            PolicyError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(InfeasibleError, SolverError)
+
+    def test_solver_error_status(self):
+        err = SolverError("failed", status="4")
+        assert err.status == "4"
+        assert "failed" in str(err)
+
+    def test_solver_error_default_status(self):
+        assert SolverError("x").status == ""
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise InfeasibleError("nope")

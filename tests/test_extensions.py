@@ -1,0 +1,87 @@
+"""Tests for repro.experiments.extensions (fast configurations)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.extensions import (
+    _burstify,
+    run_burstiness,
+    run_weighted_loss,
+)
+from repro.arch.netproc import network_processor
+from repro.arch.traffic import OnOffTraffic
+
+FAST_SIZER = {"joint_state_limit": 300}
+
+
+class TestBurstify:
+    def test_preserves_mean_rates(self):
+        topo = network_processor()
+        bursty = _burstify(topo, scv_target=3.0)
+        for name, flow in topo.flows.items():
+            assert bursty.flows[name].rate == pytest.approx(
+                flow.rate, rel=1e-9
+            )
+
+    def test_traffic_becomes_onoff(self):
+        topo = network_processor()
+        bursty = _burstify(topo, scv_target=2.0)
+        assert all(
+            isinstance(f.traffic, OnOffTraffic)
+            for f in bursty.flows.values()
+        )
+
+    def test_structure_preserved(self):
+        topo = network_processor()
+        bursty = _burstify(topo, scv_target=2.0)
+        assert set(bursty.buses) == set(topo.buses)
+        assert set(bursty.bridges) == set(topo.bridges)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            _burstify(network_processor(), scv_target=1.0)
+
+
+class TestBurstinessExperiment:
+    def test_runs_and_degrades(self):
+        result = run_burstiness(
+            scv_levels=(3.0,), budget=80, replications=1,
+            duration=300.0, sizer_kwargs=FAST_SIZER,
+        )
+        assert len(result.losses) == 1
+        # Bursty traffic with the same mean must lose at least as much.
+        assert result.losses[0] >= result.poisson_loss * 0.8
+        assert result.predicted_buffer_inflation[0] > 1.0
+        assert "SCV" in result.render()
+
+    def test_needs_levels(self):
+        with pytest.raises(ReproError):
+            run_burstiness(scv_levels=())
+
+
+class TestWeightedLossExperiment:
+    def test_protection_with_priority_arbitration(self):
+        result = run_weighted_loss(
+            critical=("p16",), weight=10.0, budget=80,
+            replications=2, duration=400.0, sizer_kwargs=FAST_SIZER,
+        )
+        # With service priority deployed, the critical processor's loss
+        # must not exceed the neutral configuration's by more than noise.
+        assert result.critical_loss_weighted <= (
+            result.critical_loss_unweighted + 2.0
+        )
+        assert "p16" in result.render()
+        assert "price of protection" in result.render()
+
+    def test_allocations_cover_same_clients(self):
+        result = run_weighted_loss(
+            critical=("p1",), weight=5.0, budget=80,
+            replications=1, duration=200.0, sizer_kwargs=FAST_SIZER,
+        )
+        assert set(result.weighted_alloc_sizes) == set(
+            result.unweighted_alloc_sizes
+        )
+
+    def test_weight_validation(self):
+        with pytest.raises(ReproError):
+            run_weighted_loss(weight=1.0)

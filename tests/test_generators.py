@@ -1,0 +1,79 @@
+"""Tests for repro.arch.generators."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.generators import GeneratorConfig, random_topology
+from repro.arch.validate import cluster_loads
+from repro.core.splitting import split
+from repro.errors import TopologyError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            GeneratorConfig(num_clusters=0)
+        with pytest.raises(TopologyError):
+            GeneratorConfig(processors_per_cluster=0)
+        with pytest.raises(TopologyError):
+            GeneratorConfig(extra_bridges=-1)
+        with pytest.raises(TopologyError):
+            GeneratorConfig(local_flow_prob=1.5)
+        with pytest.raises(TopologyError):
+            GeneratorConfig(target_utilisation=0.0)
+
+
+class TestRandomTopology:
+    def test_deterministic(self):
+        t1 = random_topology(7)
+        t2 = random_topology(7)
+        assert sorted(t1.flows) == sorted(t2.flows)
+        assert t1.total_offered_rate() == pytest.approx(
+            t2.total_offered_rate()
+        )
+
+    def test_structure(self):
+        config = GeneratorConfig(num_clusters=3, processors_per_cluster=2)
+        topo = random_topology(11, config)
+        assert len(topo.buses) == 3
+        assert len(topo.processors) == 6
+        assert len(topo.bridges) >= 2  # spanning tree
+
+    def test_single_cluster(self):
+        config = GeneratorConfig(num_clusters=1, extra_bridges=0)
+        topo = random_topology(3, config)
+        assert len(topo.bridges) == 0
+        assert len(topo.bus_clusters()) == 1
+
+    def test_utilisation_near_target(self):
+        config = GeneratorConfig(target_utilisation=0.6)
+        topo = random_topology(5, config)
+        worst = max(l.utilisation for l in cluster_loads(topo))
+        # Bridge ingress makes the conservative bound exceed the local
+        # target; allow head-room but require the right ballpark.
+        assert 0.3 <= worst <= 1.3
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_always_valid_and_splittable(self, seed):
+        topo = random_topology(seed)
+        topo.validate()  # routing must succeed for every flow
+        system = split(topo, capacity_cap=3)
+        names = system.all_client_names()
+        assert len(names) == len(set(names))
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_every_processor_participates(self, seed):
+        topo = random_topology(seed)
+        involved = set()
+        for flow in topo.flows.values():
+            involved.add(flow.source)
+            involved.add(flow.destination)
+        assert involved == set(topo.processors)

@@ -1,0 +1,88 @@
+"""Tests for repro.core.lagrangian — dual solver vs LP cross-check."""
+
+import pytest
+
+from repro.core.bus_model import SPACE
+from repro.core.ctmdp import CTMDP
+from repro.core.lagrangian import solve_constrained_dual
+from repro.core.lp import AverageCostLP, ConstraintSpec
+from repro.errors import InfeasibleError, SolverError
+
+
+def two_speed_queue(lam=2.0, mu_slow=1.0, mu_fast=6.0, k=5, fast_cost=1.0):
+    """Loss queue where fast service costs money; SPACE is constrained."""
+    model = CTMDP()
+    for q in range(k + 1):
+        arrivals = [(q + 1, lam)] if q < k else []
+        if q == 0:
+            model.add_action(q, "wait", arrivals, cost_rate=0.0,
+                             constraint_rates={SPACE: 0.0})
+            continue
+        model.add_action(q, "slow", arrivals + [(q - 1, mu_slow)],
+                         cost_rate=0.0, constraint_rates={SPACE: float(q)})
+        model.add_action(q, "fast", arrivals + [(q - 1, mu_fast)],
+                         cost_rate=fast_cost,
+                         constraint_rates={SPACE: float(q)})
+    return model
+
+
+class TestDualSolver:
+    def test_slack_constraint_returns_unconstrained(self):
+        model = two_speed_queue()
+        solution = solve_constrained_dual(model, SPACE, bound=1e9)
+        assert solution.multiplier == 0.0
+        assert solution.mix_probability == 0.0
+        lp = AverageCostLP(model).solve()
+        assert solution.cost == pytest.approx(lp.objective, abs=1e-7)
+
+    def test_binding_constraint_matches_lp(self):
+        model = two_speed_queue()
+        # Find a bound strictly between the all-slow and all-fast
+        # occupancies so the constraint binds.
+        unconstrained = AverageCostLP(model).solve()
+        slack_occupancy = sum(
+            q * mass
+            for (q, _a), mass in unconstrained.occupations[0].items()
+        )
+        bound = 0.5 * slack_occupancy
+        lp = AverageCostLP(model).solve(
+            constraints=[ConstraintSpec(SPACE, bound)]
+        )
+        dual = solve_constrained_dual(model, SPACE, bound)
+        assert dual.cost == pytest.approx(lp.objective, rel=1e-4, abs=1e-6)
+        assert dual.constraint_value <= bound + 1e-6
+
+    def test_mixture_structure(self):
+        model = two_speed_queue()
+        unconstrained = AverageCostLP(model).solve()
+        slack_occupancy = sum(
+            q * mass
+            for (q, _a), mass in unconstrained.occupations[0].items()
+        )
+        dual = solve_constrained_dual(model, SPACE, 0.6 * slack_occupancy)
+        # Feinberg: at most one randomisation for one constraint — here
+        # realised as a two-policy mixture.
+        assert 0.0 <= dual.mix_probability <= 1.0
+        assert dual.policy_low.is_deterministic()
+        assert dual.policy_high.is_deterministic()
+
+    def test_infeasible_bound(self):
+        model = two_speed_queue()
+        with pytest.raises(InfeasibleError):
+            solve_constrained_dual(model, SPACE, bound=1e-6)
+
+    def test_unknown_constraint(self):
+        model = two_speed_queue()
+        with pytest.raises(SolverError, match="no constraint named"):
+            solve_constrained_dual(model, "ghost", bound=1.0)
+
+    def test_multiplier_monotone_in_bound(self):
+        model = two_speed_queue()
+        unconstrained = AverageCostLP(model).solve()
+        slack_occupancy = sum(
+            q * mass
+            for (q, _a), mass in unconstrained.occupations[0].items()
+        )
+        tight = solve_constrained_dual(model, SPACE, 0.4 * slack_occupancy)
+        loose = solve_constrained_dual(model, SPACE, 0.8 * slack_occupancy)
+        assert tight.multiplier >= loose.multiplier - 1e-9

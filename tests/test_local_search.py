@@ -1,0 +1,93 @@
+"""Tests for repro.policies.local_search."""
+
+import pytest
+
+from repro.arch.templates import single_bus
+from repro.arch.topology import Topology
+from repro.core.sizing import BufferAllocation
+from repro.errors import PolicyError
+from repro.policies.local_search import SimulatedAnnealingFreeLocalSearch
+from repro.policies.uniform import UniformSizing
+from repro.sim.runner import replicate
+
+
+def skewed_topology():
+    """One very hot client and two cold ones: uniform is clearly bad."""
+    topo = Topology("skew")
+    topo.add_bus("x")
+    topo.add_processor("hot", "x", service_rate=6.0)
+    topo.add_processor("cold1", "x", service_rate=6.0)
+    topo.add_processor("cold2", "x", service_rate=6.0)
+    topo.add_poisson_flow("h", "hot", "cold1", 4.0)
+    topo.add_poisson_flow("c", "cold1", "cold2", 0.1)
+    return topo
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(PolicyError):
+            SimulatedAnnealingFreeLocalSearch(replications=0)
+        with pytest.raises(PolicyError):
+            SimulatedAnnealingFreeLocalSearch(duration=0.0)
+        with pytest.raises(PolicyError):
+            SimulatedAnnealingFreeLocalSearch(max_moves=-1)
+        with pytest.raises(PolicyError):
+            SimulatedAnnealingFreeLocalSearch(candidates_per_round=0)
+
+
+class TestRefinement:
+    def test_budget_preserved(self):
+        topo = skewed_topology()
+        start = UniformSizing().allocate(topo, 9)
+        search = SimulatedAnnealingFreeLocalSearch(
+            replications=1, duration=300.0, max_moves=4
+        )
+        refined = search.refine(topo, start)
+        assert refined.total == start.total
+
+    def test_never_below_min_size(self):
+        topo = skewed_topology()
+        start = UniformSizing().allocate(topo, 9)
+        search = SimulatedAnnealingFreeLocalSearch(
+            replications=1, duration=300.0, max_moves=6, min_size=1
+        )
+        refined = search.refine(topo, start)
+        assert all(v >= 1 for v in refined.sizes.values())
+
+    def test_improves_uniform_on_skewed_load(self):
+        topo = skewed_topology()
+        start = UniformSizing().allocate(topo, 9)
+        search = SimulatedAnnealingFreeLocalSearch(
+            replications=2, duration=600.0, max_moves=8
+        )
+        refined = search.refine(topo, start)
+        before = replicate(
+            topo, start.as_capacities(), replications=3, duration=800.0,
+            base_seed=77,
+        ).mean_total_loss()
+        after = replicate(
+            topo, refined.as_capacities(), replications=3, duration=800.0,
+            base_seed=77,
+        ).mean_total_loss()
+        # The hot client must have gained slots, and loss must not rise.
+        assert refined.sizes["hot"] >= start.sizes["hot"]
+        assert after <= before * 1.05
+
+    def test_trace_records_accepted_moves(self):
+        topo = skewed_topology()
+        start = UniformSizing().allocate(topo, 9)
+        search = SimulatedAnnealingFreeLocalSearch(
+            replications=1, duration=400.0, max_moves=5
+        )
+        search.refine(topo, start)
+        for move in search.trace:
+            assert move.loss_after < move.loss_before
+
+    def test_zero_moves_is_identity(self):
+        topo = skewed_topology()
+        start = UniformSizing().allocate(topo, 9)
+        search = SimulatedAnnealingFreeLocalSearch(
+            replications=1, duration=200.0, max_moves=0
+        )
+        refined = search.refine(topo, start)
+        assert refined.sizes == start.sizes

@@ -1,0 +1,182 @@
+"""Tests for repro.queueing.network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.queueing.mm1k import MM1KQueue
+from repro.queueing.network import (
+    LossNetwork,
+    TandemLossChain,
+    carried_rate,
+    reduced_load_fixed_point,
+)
+
+
+class TestCarriedRate:
+    def test_basic(self):
+        assert carried_rate(2.0, 0.25) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            carried_rate(-1.0, 0.5)
+        with pytest.raises(ModelError):
+            carried_rate(1.0, 1.5)
+
+    @given(
+        offered=st.floats(min_value=0.0, max_value=100.0),
+        blocking=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, offered, blocking):
+        c = carried_rate(offered, blocking)
+        assert 0.0 <= c <= offered
+
+
+class TestTandemLossChain:
+    def test_single_stage_matches_mm1k(self):
+        chain = TandemLossChain(2.0, [1.5], [4])
+        queue = MM1KQueue(2.0, 1.5, 4)
+        assert chain.total_loss_rate() == pytest.approx(queue.loss_rate())
+
+    def test_thinning_reduces_downstream_offered(self):
+        chain = TandemLossChain(3.0, [1.0, 1.0], [2, 2])
+        metrics = chain.stage_metrics()
+        assert metrics[1]["offered"] < metrics[0]["offered"]
+        assert metrics[1]["offered"] == pytest.approx(metrics[0]["carried"])
+
+    def test_conservation(self):
+        chain = TandemLossChain(2.5, [1.0, 2.0, 1.5], [3, 4, 2])
+        metrics = chain.stage_metrics()
+        total_stage_loss = sum(m["loss_rate"] for m in metrics)
+        assert chain.total_loss_rate() == pytest.approx(total_stage_loss)
+        assert chain.end_to_end_carried() + chain.total_loss_rate() == (
+            pytest.approx(2.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TandemLossChain(1.0, [1.0], [2, 3])
+        with pytest.raises(ModelError):
+            TandemLossChain(1.0, [], [])
+        with pytest.raises(ModelError):
+            TandemLossChain(0.0, [1.0], [2])
+
+    def test_big_buffers_nearly_lossless(self):
+        chain = TandemLossChain(0.5, [2.0, 2.0], [50, 50])
+        assert chain.total_loss_rate() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestLossNetwork:
+    def make_simple(self):
+        return LossNetwork(
+            link_capacities={"b": 4, "f": 4},
+            link_service_rates={"b": 2.0, "f": 2.0},
+            routes={"p2_to_p5": ["b", "f"], "p3_local": ["b"]},
+            offered_rates={"p2_to_p5": 1.0, "p3_local": 0.8},
+        )
+
+    def test_solve_converges(self):
+        net = self.make_simple()
+        blockings = net.solve()
+        assert set(blockings) == {"b", "f"}
+        assert all(0.0 <= v < 1.0 for v in blockings.values())
+
+    def test_link_b_sees_both_flows(self):
+        net = self.make_simple()
+        offered = net.link_offered_load({"b": 0.0, "f": 0.0})
+        assert offered["b"] == pytest.approx(1.8)
+        assert offered["f"] == pytest.approx(1.0)
+
+    def test_downstream_link_sees_thinned_flow(self):
+        net = self.make_simple()
+        offered = net.link_offered_load({"b": 0.5, "f": 0.0})
+        assert offered["f"] == pytest.approx(0.5)
+
+    def test_flow_loss_rates_nonnegative_and_bounded(self):
+        net = self.make_simple()
+        losses = net.flow_loss_rates()
+        assert losses["p2_to_p5"] >= 0
+        assert losses["p2_to_p5"] <= 1.0
+        assert losses["p3_local"] <= 0.8
+
+    def test_single_link_matches_mm1k(self):
+        net = LossNetwork(
+            link_capacities={"a": 5},
+            link_service_rates={"a": 1.0},
+            routes={"f": ["a"]},
+            offered_rates={"f": 2.0},
+        )
+        blockings = net.solve()
+        expected = MM1KQueue(2.0, 1.0, 5).blocking_probability()
+        assert blockings["a"] == pytest.approx(expected, abs=1e-8)
+
+    def test_validation_unknown_link(self):
+        with pytest.raises(ModelError, match="unknown link"):
+            LossNetwork(
+                link_capacities={"a": 2},
+                link_service_rates={"a": 1.0},
+                routes={"f": ["a", "zzz"]},
+                offered_rates={"f": 1.0},
+            )
+
+    def test_validation_empty_route(self):
+        with pytest.raises(ModelError, match="empty route"):
+            LossNetwork(
+                link_capacities={"a": 2},
+                link_service_rates={"a": 1.0},
+                routes={"f": []},
+                offered_rates={"f": 1.0},
+            )
+
+    def test_validation_unknown_flow_rate(self):
+        with pytest.raises(ModelError, match="unknown flow"):
+            LossNetwork(
+                link_capacities={"a": 2},
+                link_service_rates={"a": 1.0},
+                routes={"f": ["a"]},
+                offered_rates={"g": 1.0},
+            )
+
+    def test_validation_bad_capacity(self):
+        with pytest.raises(ModelError, match="capacity"):
+            LossNetwork(
+                link_capacities={"a": 0},
+                link_service_rates={"a": 1.0},
+                routes={"f": ["a"]},
+                offered_rates={"f": 1.0},
+            )
+
+
+class TestReducedLoadFixedPoint:
+    def test_identity_converges_immediately(self):
+        rates, iters = reduced_load_fixed_point(
+            [1.0, 2.0], update=lambda r: r
+        )
+        assert np.allclose(rates, [1.0, 2.0])
+        assert iters == 1
+
+    def test_linear_contraction(self):
+        # x -> 0.5 x + 1 has fixed point 2.
+        rates, _ = reduced_load_fixed_point(
+            [0.0], update=lambda r: 0.5 * r + 1.0
+        )
+        assert rates[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_divergent_update_raises(self):
+        with pytest.raises(ModelError, match="did not converge"):
+            reduced_load_fixed_point(
+                [1.0], update=lambda r: r + 1.0, max_iter=50
+            )
+
+    def test_shape_change_rejected(self):
+        with pytest.raises(ModelError, match="shape"):
+            reduced_load_fixed_point(
+                [1.0], update=lambda r: np.array([1.0, 2.0])
+            )
+
+    def test_damping_validation(self):
+        with pytest.raises(ModelError, match="damping"):
+            reduced_load_fixed_point([1.0], update=lambda r: r, damping=0.0)

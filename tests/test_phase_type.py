@@ -1,0 +1,161 @@
+"""Tests for repro.queueing.phase_type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.queueing.phase_type import (
+    MarkovianArrivalProcess,
+    PhaseType,
+    erlang_ph,
+    exponential_ph,
+    fit_two_moment_ph,
+    hyperexponential_ph,
+    mmpp2,
+)
+
+
+class TestConstruction:
+    def test_exponential(self):
+        ph = exponential_ph(2.0)
+        assert ph.num_phases == 1
+        assert ph.mean() == pytest.approx(0.5)
+        assert ph.scv() == pytest.approx(1.0)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ModelError):
+            exponential_ph(0.0)
+
+    def test_erlang(self):
+        ph = erlang_ph(4, 4.0)  # mean = 4 / 4 = 1
+        assert ph.mean() == pytest.approx(1.0)
+        assert ph.scv() == pytest.approx(0.25)
+
+    def test_erlang_validation(self):
+        with pytest.raises(ModelError):
+            erlang_ph(0, 1.0)
+        with pytest.raises(ModelError):
+            erlang_ph(2, -1.0)
+
+    def test_hyperexponential(self):
+        ph = hyperexponential_ph((1.0, 4.0), (0.4, 0.6))
+        expected_mean = 0.4 / 1.0 + 0.6 / 4.0
+        assert ph.mean() == pytest.approx(expected_mean)
+        assert ph.scv() > 1.0
+
+    def test_hyperexponential_validation(self):
+        with pytest.raises(ModelError):
+            hyperexponential_ph((1.0,), (0.5, 0.5))
+        with pytest.raises(ModelError):
+            hyperexponential_ph((1.0, -1.0), (0.5, 0.5))
+        with pytest.raises(ModelError):
+            hyperexponential_ph((1.0, 2.0), (0.5, 0.6))
+
+    def test_bad_matrices(self):
+        with pytest.raises(ModelError):
+            PhaseType(np.array([1.0]), np.array([[1.0]]))  # positive diag
+        with pytest.raises(ModelError):
+            PhaseType(np.array([1.0, 0.0]), np.array([[-1.0]]))
+        with pytest.raises(ModelError):
+            PhaseType(np.array([0.5, 0.6]), -np.eye(2))
+
+
+class TestMoments:
+    def test_exponential_moments(self):
+        ph = exponential_ph(3.0)
+        assert ph.moment(1) == pytest.approx(1.0 / 3.0)
+        assert ph.moment(2) == pytest.approx(2.0 / 9.0)
+
+    def test_moment_validation(self):
+        with pytest.raises(ModelError):
+            exponential_ph(1.0).moment(0)
+
+    def test_variance_nonnegative(self):
+        ph = erlang_ph(3, 2.0)
+        assert ph.variance() > 0
+
+    def test_cdf_monotone(self):
+        ph = erlang_ph(2, 2.0)
+        values = [ph.cdf(x) for x in (0.0, 0.5, 1.0, 3.0, 10.0)]
+        assert values[0] == pytest.approx(0.0)
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0, abs=1e-5)
+
+    def test_sample_mean(self):
+        ph = erlang_ph(3, 3.0)
+        rng = np.random.default_rng(0)
+        samples = ph.sample(rng, 20_000)
+        assert samples.mean() == pytest.approx(ph.mean(), rel=0.05)
+
+    def test_sample_validation(self):
+        with pytest.raises(ModelError):
+            exponential_ph(1.0).sample(np.random.default_rng(0), -1)
+
+
+class TestTwoMomentFit:
+    def test_scv_one_is_exponential_like(self):
+        ph = fit_two_moment_ph(2.0, 1.0)
+        assert ph.mean() == pytest.approx(2.0)
+        assert ph.scv() == pytest.approx(1.0, abs=1e-9)
+
+    def test_high_scv(self):
+        ph = fit_two_moment_ph(1.0, 4.0)
+        assert ph.mean() == pytest.approx(1.0)
+        assert ph.scv() == pytest.approx(4.0, rel=1e-6)
+
+    def test_low_scv(self):
+        ph = fit_two_moment_ph(1.0, 0.3)
+        assert ph.mean() == pytest.approx(1.0)
+        assert ph.scv() <= 0.5 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            fit_two_moment_ph(0.0, 1.0)
+        with pytest.raises(ModelError):
+            fit_two_moment_ph(1.0, 0.0)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=10.0),
+        scv=st.floats(min_value=1.0, max_value=20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_fit_matches_moments(self, mean, scv):
+        ph = fit_two_moment_ph(mean, scv)
+        assert ph.mean() == pytest.approx(mean, rel=1e-6)
+        assert ph.scv() == pytest.approx(scv, rel=1e-4)
+
+
+class TestMAP:
+    def test_mmpp2_rate(self):
+        m = mmpp2(rate_high=4.0, rate_low=1.0, switch_to_low=0.5,
+                  switch_to_high=0.5)
+        pi = m.phase_stationary()
+        expected = pi[0] * 4.0 + pi[1] * 1.0
+        assert m.arrival_rate() == pytest.approx(expected)
+
+    def test_mmpp2_validation(self):
+        with pytest.raises(ModelError):
+            mmpp2(0.0, 1.0, 1.0, 1.0)
+
+    def test_map_validation(self):
+        with pytest.raises(ModelError):
+            MarkovianArrivalProcess(
+                np.array([[-1.0]]), np.array([[0.5]])
+            )  # rows of D0+D1 must sum to 0
+
+    def test_sample_rate(self):
+        m = mmpp2(rate_high=5.0, rate_low=1.0, switch_to_low=1.0,
+                  switch_to_high=1.0)
+        rng = np.random.default_rng(1)
+        gaps = m.sample_interarrivals(rng, 20_000)
+        assert 1.0 / gaps.mean() == pytest.approx(m.arrival_rate(), rel=0.1)
+
+    def test_mmpp_burstier_than_poisson(self):
+        m = mmpp2(rate_high=10.0, rate_low=0.5, switch_to_low=0.2,
+                  switch_to_high=0.2)
+        rng = np.random.default_rng(2)
+        gaps = m.sample_interarrivals(rng, 20_000)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.2

@@ -1,0 +1,205 @@
+"""Cross-module property-based tests on core invariants.
+
+These exercise whole pipelines under randomly generated inputs:
+
+* random single-bus systems: LP occupation measures are distributions,
+  policies are proper, simulated conservation laws hold;
+* random bridged topologies: splitting covers every client exactly once
+  and bridge rates never exceed offered traffic;
+* random allocations: the greedy K-switching allocation dominates (in
+  predicted loss) any random allocation of the same budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
+from repro.core.kswitching import ClientDemand, allocate_greedy
+from repro.core.lp import AverageCostLP
+from repro.core.splitting import bridge_arrival_rates, split
+from repro.arch.topology import Topology
+from repro.sim.runner import simulate
+
+client_strategy = st.builds(
+    BusClient,
+    name=st.sampled_from(["a", "b"]),
+    arrival_rate=st.floats(min_value=0.1, max_value=3.0),
+    service_rate=st.floats(min_value=0.5, max_value=5.0),
+    capacity=st.integers(min_value=1, max_value=3),
+    loss_weight=st.floats(min_value=0.1, max_value=5.0),
+)
+
+
+@st.composite
+def client_pairs(draw):
+    c1 = draw(client_strategy)
+    c2 = draw(client_strategy)
+    return [
+        BusClient("a", c1.arrival_rate, c1.service_rate, c1.capacity,
+                  c1.loss_weight),
+        BusClient("b", c2.arrival_rate, c2.service_rate, c2.capacity,
+                  c2.loss_weight),
+    ]
+
+
+class TestLPInvariants:
+    @given(clients=client_pairs())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_occupation_measure_is_distribution(self, clients):
+        model = build_joint_bus_ctmdp(clients)
+        solution = AverageCostLP(model).solve()
+        occ = solution.occupations[0]
+        total = sum(occ.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert all(mass >= -1e-9 for mass in occ.values())
+
+    @given(clients=client_pairs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_objective_bounded_by_weighted_offered(self, clients):
+        model = build_joint_bus_ctmdp(clients)
+        solution = AverageCostLP(model).solve()
+        bound = sum(c.loss_weight * c.arrival_rate for c in clients)
+        assert -1e-9 <= solution.objective <= bound + 1e-9
+
+    @given(clients=client_pairs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_policy_evaluation_matches_objective(self, clients):
+        model = build_joint_bus_ctmdp(clients)
+        solution = AverageCostLP(model).solve()
+        achieved = solution.policies[0].average_cost_rate()
+        assert achieved == pytest.approx(solution.objective, abs=1e-6)
+
+
+@st.composite
+def random_bridged_topology(draw):
+    """Two bridged buses, 2-3 processors, random rates and flows."""
+    topo = Topology("random")
+    topo.add_bus("x")
+    topo.add_bus("y")
+    topo.add_bridge(
+        "br", "x", "y",
+        service_rate=draw(st.floats(min_value=1.0, max_value=6.0)),
+    )
+    num_procs = draw(st.integers(min_value=2, max_value=3))
+    buses = ["x", "y"]
+    for i in range(num_procs):
+        topo.add_processor(
+            f"p{i}",
+            buses[i % 2],
+            service_rate=draw(st.floats(min_value=1.0, max_value=8.0)),
+        )
+    # At least one flow; ensure at least one crosses the bridge.
+    topo.add_poisson_flow(
+        "cross", "p0", "p1",
+        draw(st.floats(min_value=0.1, max_value=2.0)),
+    )
+    if num_procs == 3 and draw(st.booleans()):
+        topo.add_poisson_flow(
+            "extra", "p2", "p0",
+            draw(st.floats(min_value=0.1, max_value=1.0)),
+        )
+    return topo
+
+
+class TestSplittingInvariants:
+    @given(topo=random_bridged_topology())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_clients_partitioned(self, topo):
+        system = split(topo, capacity_cap=3)
+        names = system.all_client_names()
+        assert len(names) == len(set(names))
+        for proc in topo.processors:
+            assert proc in names
+
+    @given(topo=random_bridged_topology())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bridge_rates_bounded_by_offered(self, topo):
+        system = split(topo, capacity_cap=3)
+        total_offered = topo.total_offered_rate()
+        rates = bridge_arrival_rates(system, blocking={})
+        for rate in rates.values():
+            assert -1e-9 <= rate <= total_offered + 1e-9
+
+    @given(
+        topo=random_bridged_topology(),
+        blocking_level=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_blocking_monotone_thinning(self, topo, blocking_level):
+        system = split(topo, capacity_cap=3)
+        free = bridge_arrival_rates(system, blocking={})
+        blocked = bridge_arrival_rates(
+            system,
+            blocking={name: blocking_level for name in topo.processors},
+        )
+        for name in free:
+            assert blocked[name] <= free[name] + 1e-9
+
+
+class TestSimulationInvariants:
+    @given(
+        lam=st.floats(min_value=0.2, max_value=3.0),
+        mu=st.floats(min_value=0.5, max_value=5.0),
+        cap=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_conservation(self, lam, mu, cap, seed):
+        topo = Topology("t")
+        topo.add_bus("x")
+        topo.add_processor("src", "x", service_rate=mu)
+        topo.add_processor("dst", "x", service_rate=mu)
+        topo.add_poisson_flow("f", "src", "dst", lam)
+        result = simulate(
+            topo, {"src": cap, "dst": 1}, duration=300.0, seed=seed
+        )
+        offered = result.offered["src"]
+        accounted = result.lost["src"] + result.delivered["src"]
+        # In-flight at horizon: at most the buffer capacity.
+        assert 0 <= offered - accounted <= cap
+        assert result.lost["src"] >= 0
+
+
+class TestGreedyOptimality:
+    @given(
+        seeds=st.integers(min_value=0, max_value=1_000),
+        budget=st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_greedy_beats_random_split(self, seeds, budget):
+        rng = np.random.default_rng(seeds)
+        demands = []
+        for i in range(3):
+            rho = rng.uniform(0.2, 0.9)
+            marginal = rho ** np.arange(budget + 1)
+            demands.append(
+                ClientDemand(
+                    name=f"c{i}",
+                    marginal=marginal / marginal.sum(),
+                    arrival_rate=float(rng.uniform(0.5, 3.0)),
+                    loss_weight=1.0,
+                    max_size=budget,
+                )
+            )
+
+        def predicted_loss(sizes):
+            return sum(
+                d.truncated_loss(sizes[d.name]) for d in demands
+            )
+
+        greedy = allocate_greedy(demands, budget)
+        # A random feasible allocation of the same budget.
+        sizes = {d.name: 1 for d in demands}
+        for _ in range(budget - 3):
+            sizes[f"c{int(rng.integers(3))}"] += 1
+        assert predicted_loss(greedy) <= predicted_loss(sizes) + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for repro.core.quadratic — the naive coupled formulation."""
+
+import pytest
+
+from repro.arch.templates import paper_figure1, single_bus
+from repro.arch.topology import Topology
+from repro.core.quadratic import QuadraticCoupledSizer, QuadraticDiagnostics
+from repro.errors import SolverError
+
+
+def tiny_bridged():
+    topo = Topology("tiny")
+    topo.add_bus("x")
+    topo.add_bus("y")
+    topo.add_processor("a", "x", service_rate=4.0)
+    topo.add_processor("b", "y", service_rate=4.0)
+    topo.add_bridge("br", "x", "y", service_rate=3.0)
+    topo.add_poisson_flow("ab", "a", "b", 0.8)
+    return topo
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(SolverError):
+            QuadraticCoupledSizer(capacity=0)
+
+    def test_bad_max_iter(self):
+        with pytest.raises(SolverError):
+            QuadraticCoupledSizer(max_iter=0)
+
+
+class TestDiagnostics:
+    def test_single_bus_no_bilinear_terms(self):
+        diag = QuadraticCoupledSizer(capacity=2).solve(single_bus())
+        assert diag.num_bilinear_terms == 0
+        # Without coupling the problem is linear and solvable.
+        assert diag.solver_reported_success
+
+    def test_tiny_bridged_has_bilinear_terms(self):
+        diag = QuadraticCoupledSizer(capacity=1, max_iter=300).solve(
+            tiny_bridged()
+        )
+        assert diag.num_bilinear_terms > 0
+        assert diag.num_variables > 0
+        assert diag.num_equality_constraints > 0
+        assert diag.wall_time_seconds >= 0.0
+
+    def test_paper_figure1_reports_coupling_scale(self):
+        sizer = QuadraticCoupledSizer(capacity=1, max_iter=20)
+        diag = sizer.solve(paper_figure1())
+        # The point of the ablation: the naive formulation is large and
+        # bilinear.  We assert the structure, not the failure mode, since
+        # SLSQP behaviour varies; the bench records whichever happens.
+        assert diag.num_bilinear_terms >= 10
+        assert diag.num_variables >= 50
+        assert isinstance(diag.success, bool)
+
+    def test_success_requires_small_residual(self):
+        diag = QuadraticCoupledSizer(capacity=1, max_iter=300).solve(
+            tiny_bridged()
+        )
+        if diag.success:
+            assert diag.max_residual <= 1e-5

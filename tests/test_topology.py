@@ -1,0 +1,291 @@
+"""Tests for repro.arch.topology and templates."""
+
+import pytest
+
+from repro.arch.templates import (
+    amba_like,
+    coreconnect_like,
+    paper_figure1,
+    single_bus,
+)
+from repro.arch.netproc import network_processor, processor_names
+from repro.arch.topology import Bridge, Topology
+from repro.arch.traffic import PoissonTraffic
+from repro.arch.validate import assert_not_overloaded, cluster_loads
+from repro.errors import TopologyError
+
+
+def tiny_bridged():
+    topo = Topology("tiny")
+    topo.add_bus("x")
+    topo.add_bus("y")
+    topo.add_processor("a", "x", service_rate=2.0)
+    topo.add_processor("b", "y", service_rate=2.0)
+    topo.add_bridge("br", "x", "y", service_rate=3.0)
+    topo.add_poisson_flow("ab", "a", "b", 0.5)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_bus(self):
+        topo = Topology()
+        topo.add_bus("x")
+        with pytest.raises(TopologyError, match="duplicate bus"):
+            topo.add_bus("x")
+
+    def test_processor_unknown_bus(self):
+        topo = Topology()
+        with pytest.raises(TopologyError, match="unknown bus"):
+            topo.add_processor("p", "nope", service_rate=1.0)
+
+    def test_duplicate_processor(self):
+        topo = Topology()
+        topo.add_bus("x")
+        topo.add_processor("p", "x", 1.0)
+        with pytest.raises(TopologyError, match="duplicate processor"):
+            topo.add_processor("p", "x", 1.0)
+
+    def test_bridge_same_bus_rejected(self):
+        with pytest.raises(TopologyError, match="distinct buses"):
+            Bridge("b", "x", "x", 1.0)
+
+    def test_bridge_unknown_bus(self):
+        topo = Topology()
+        topo.add_bus("x")
+        with pytest.raises(TopologyError, match="unknown bus"):
+            topo.add_bridge("b", "x", "nope", 1.0)
+
+    def test_duplicate_bridge(self):
+        topo = tiny_bridged()
+        with pytest.raises(TopologyError, match="duplicate bridge"):
+            topo.add_bridge("br", "x", "y", 1.0)
+
+    def test_flow_unknown_processor(self):
+        topo = tiny_bridged()
+        with pytest.raises(TopologyError, match="unknown processor"):
+            topo.add_poisson_flow("zz", "a", "ghost", 1.0)
+
+    def test_flow_self_loop_rejected(self):
+        topo = tiny_bridged()
+        with pytest.raises(TopologyError, match="source equals destination"):
+            topo.add_poisson_flow("self", "a", "a", 1.0)
+
+    def test_duplicate_flow(self):
+        topo = tiny_bridged()
+        with pytest.raises(TopologyError, match="duplicate flow"):
+            topo.add_poisson_flow("ab", "a", "b", 1.0)
+
+    def test_bridge_other_end(self):
+        br = Bridge("b", "x", "y", 1.0)
+        assert br.other_end("x") == "y"
+        assert br.other_end("y") == "x"
+        with pytest.raises(TopologyError):
+            br.other_end("z")
+
+
+class TestClusters:
+    def test_bridge_cuts_clusters(self):
+        topo = tiny_bridged()
+        clusters = topo.bus_clusters()
+        assert clusters == [frozenset({"x"}), frozenset({"y"})]
+
+    def test_links_merge_clusters(self):
+        topo = Topology()
+        for bus in ("x", "y", "z"):
+            topo.add_bus(bus)
+        topo.add_link("x", "y")
+        topo.add_bridge("br", "y", "z", 1.0)
+        clusters = topo.bus_clusters()
+        assert frozenset({"x", "y"}) in clusters
+        assert frozenset({"z"}) in clusters
+
+    def test_cluster_of_bus(self):
+        topo = tiny_bridged()
+        assert topo.cluster_of_bus("x") == frozenset({"x"})
+        with pytest.raises(TopologyError):
+            topo.cluster_of_bus("nope")
+
+    def test_cluster_processors_sorted(self):
+        topo = paper_figure1()
+        cluster = topo.cluster_of_bus("b")
+        names = [p.name for p in topo.cluster_processors(cluster)]
+        assert names == ["p1", "p2", "p3", "p4"]
+
+    def test_cluster_bridges(self):
+        topo = paper_figure1()
+        cluster = topo.cluster_of_bus("b")
+        names = [b.name for b in topo.cluster_bridges(cluster)]
+        assert names == ["b1", "b2"]
+
+
+class TestRouting:
+    def test_local_route(self):
+        topo = paper_figure1()
+        route = topo.route("f_12")
+        assert not route.crosses_bridge
+        assert len(route.clusters) == 1
+
+    def test_bridged_route(self):
+        topo = paper_figure1()
+        route = topo.route("f_25")
+        assert route.crosses_bridge
+        # p2 (cluster a,b,c,e) -> p5 (bus d): two bridges.
+        assert len(route.bridges) == 2
+        assert route.bridges[0] in ("b1", "b2")
+        assert route.bridges[1] in ("b3", "b4")
+
+    def test_route_deterministic(self):
+        topo = paper_figure1()
+        r1 = topo.route("f_25")
+        r2 = topo.route("f_25")
+        assert r1 == r2
+
+    def test_unknown_flow(self):
+        topo = paper_figure1()
+        with pytest.raises(TopologyError, match="unknown flow"):
+            topo.route("ghost")
+
+    def test_unroutable_flow(self):
+        topo = Topology()
+        topo.add_bus("x")
+        topo.add_bus("y")
+        topo.add_processor("a", "x", 1.0)
+        topo.add_processor("b", "y", 1.0)
+        topo.add_poisson_flow("ab", "a", "b", 1.0)
+        with pytest.raises(TopologyError, match="no bridge path"):
+            topo.route("ab")
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="no buses"):
+            Topology().validate()
+
+    def test_no_processors_rejected(self):
+        topo = Topology()
+        topo.add_bus("x")
+        with pytest.raises(TopologyError, match="no processors"):
+            topo.validate()
+
+    def test_orphan_bus_rejected(self):
+        topo = tiny_bridged()
+        topo.add_bus("orphan")
+        with pytest.raises(TopologyError, match="orphan"):
+            topo.validate()
+
+    def test_valid_passes(self):
+        tiny_bridged().validate()
+
+
+class TestAggregates:
+    def test_processor_offered_rate(self):
+        topo = paper_figure1()
+        # p2 sources f_23 (0.7) and f_25 (0.6).
+        assert topo.processor_offered_rate("p2") == pytest.approx(1.3)
+
+    def test_total_offered_rate(self):
+        topo = tiny_bridged()
+        assert topo.total_offered_rate() == pytest.approx(0.5)
+
+    def test_unknown_processor(self):
+        topo = tiny_bridged()
+        with pytest.raises(TopologyError):
+            topo.processor_offered_rate("ghost")
+
+
+class TestTemplates:
+    def test_single_bus(self):
+        topo = single_bus(num_processors=5)
+        assert len(topo.processors) == 5
+        assert len(topo.bus_clusters()) == 1
+
+    def test_single_bus_too_small(self):
+        with pytest.raises(TopologyError):
+            single_bus(num_processors=1)
+
+    def test_paper_figure1_four_subsystems(self):
+        topo = paper_figure1()
+        assert len(topo.bus_clusters()) == 4
+        assert len(topo.bridges) == 4
+        assert len(topo.processors) == 5
+
+    def test_amba_like(self):
+        topo = amba_like()
+        assert len(topo.bus_clusters()) == 2
+        assert "ahb2apb" in topo.bridges
+
+    def test_coreconnect_like(self):
+        topo = coreconnect_like()
+        assert frozenset({"plb", "plb2"}) in topo.bus_clusters()
+        # Two parallel bridges: routes still resolve deterministically.
+        route = topo.route("ppc_eth")
+        assert route.crosses_bridge
+
+
+class TestNetworkProcessor:
+    def test_seventeen_processors(self):
+        topo = network_processor()
+        assert len(topo.processors) == 17
+
+    def test_five_clusters(self):
+        topo = network_processor()
+        assert len(topo.bus_clusters()) == 5
+        assert len(topo.bridges) == 4
+
+    def test_deterministic(self):
+        t1 = network_processor(seed=11)
+        t2 = network_processor(seed=11)
+        assert t1.processor_offered_rate("p3") == t2.processor_offered_rate(
+            "p3"
+        )
+
+    def test_seed_changes_rates(self):
+        t1 = network_processor(seed=1)
+        t2 = network_processor(seed=2)
+        rates1 = [t1.processor_offered_rate(p) for p in t1.processors]
+        rates2 = [t2.processor_offered_rate(p) for p in t2.processors]
+        assert rates1 != rates2
+
+    def test_load_scale(self):
+        base = network_processor(seed=3, load_scale=1.0)
+        heavy = network_processor(seed=3, load_scale=2.0)
+        assert heavy.total_offered_rate() == pytest.approx(
+            2.0 * base.total_offered_rate()
+        )
+
+    def test_load_scale_validation(self):
+        with pytest.raises(TopologyError):
+            network_processor(load_scale=0.0)
+
+    def test_processor_names_order(self):
+        topo = network_processor()
+        names = processor_names(topo)
+        assert names[0] == "p1"
+        assert names[-1] == "p17"
+
+
+class TestClusterLoads:
+    def test_loads_positive(self):
+        topo = network_processor()
+        loads = cluster_loads(topo)
+        assert len(loads) == 5
+        assert all(l.offered_rate > 0 for l in loads)
+
+    def test_bridge_ingress_counted(self):
+        topo = tiny_bridged()
+        loads = {tuple(sorted(l.cluster)): l for l in cluster_loads(topo)}
+        # Cluster y receives flow ab through the bridge.
+        assert loads[("y",)].offered_rate == pytest.approx(0.5)
+
+    def test_not_overloaded_default(self):
+        topo = network_processor()
+        assert_not_overloaded(topo, limit=1.5)
+
+    def test_overload_detected(self):
+        topo = Topology()
+        topo.add_bus("x")
+        topo.add_processor("a", "x", service_rate=1.0)
+        topo.add_processor("b", "x", service_rate=1.0)
+        topo.add_poisson_flow("ab", "a", "b", 10.0)
+        with pytest.raises(TopologyError, match="utilisation"):
+            assert_not_overloaded(topo)

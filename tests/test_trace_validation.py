@@ -1,0 +1,95 @@
+"""Tests for repro.sim.trace and repro.analysis.validation."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationPoint,
+    full_validation_suite,
+    validate_carried_rate,
+    validate_mm1k_blocking,
+    validate_mm1k_occupancy,
+)
+from repro.arch.templates import paper_figure1, single_bus
+from repro.errors import ReproError, SimulationError
+from repro.sim.system import CommunicationSystem, required_clients
+from repro.sim.trace import TraceRecorder
+
+
+def traced_system(topology, capacities, seed=0):
+    system = CommunicationSystem(topology, capacities, seed=seed)
+    recorder = TraceRecorder()
+    # Swap the shared monitor: all components reference system.monitor's
+    # object via their constructor, so rebuild with the recorder.
+    system.monitor = recorder
+    for bus in system.buses:
+        bus.monitor = recorder
+    return system, recorder
+
+
+class TestTraceRecorder:
+    def test_records_offered_and_outcomes(self):
+        topo = single_bus(num_processors=3, arrival_rate=2.0, service_rate=3.0)
+        caps = {p: 2 for p in topo.processors}
+        system, recorder = traced_system(topo, caps)
+        system.run(200.0)
+        offered = recorder.events_of_kind("offered")
+        assert offered
+        total = recorder.total_offered()
+        assert len(offered) == total
+        kinds = {e.kind for e in recorder.events}
+        assert "service" in kinds
+        assert "delivery" in kinds
+
+    def test_loss_sites_bounded_by_losses(self):
+        topo = single_bus(num_processors=3, arrival_rate=3.0, service_rate=2.0)
+        caps = {p: 1 for p in topo.processors}
+        system, recorder = traced_system(topo, caps)
+        system.run(300.0)
+        sites = recorder.loss_sites()
+        assert sum(sites.values()) == recorder.total_lost()
+
+    def test_packet_history_ordered(self):
+        topo = paper_figure1()
+        caps = {name: 6 for name in required_clients(topo)}
+        system, recorder = traced_system(topo, caps)
+        system.run(100.0)
+        delivered = recorder.events_of_kind("delivery")
+        assert delivered
+        history = recorder.packet_history(delivered[0].packet_id)
+        assert history[0].kind == "offered"
+        assert history[-1].kind == "delivery"
+        times = [e.time for e in history]
+        assert times == sorted(times)
+
+    def test_bounded_log(self):
+        recorder = TraceRecorder(max_events=10)
+        assert recorder.events.maxlen == 10
+        with pytest.raises(SimulationError):
+            TraceRecorder(max_events=0)
+
+
+class TestValidationHarness:
+    def test_blocking_point(self):
+        point = validate_mm1k_blocking(duration=20_000.0)
+        assert point.relative_error < 0.15
+
+    def test_occupancy_point(self):
+        point = validate_mm1k_occupancy(duration=20_000.0)
+        assert point.relative_error < 0.1
+
+    def test_carried_rate_point(self):
+        point = validate_carried_rate(duration=20_000.0)
+        assert point.relative_error < 0.05
+
+    def test_full_suite(self):
+        points = full_validation_suite(duration=15_000.0)
+        assert len(points) == 4
+        assert all(p.relative_error < 0.2 for p in points)
+
+    def test_validation_point_relative_error(self):
+        p = ValidationPoint("x", analytic=2.0, simulated=2.2)
+        assert p.relative_error == pytest.approx(0.1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ReproError):
+            validate_mm1k_blocking(capacity=0)

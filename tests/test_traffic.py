@@ -1,0 +1,117 @@
+"""Tests for repro.arch.traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.traffic import (
+    HyperexponentialTraffic,
+    OnOffTraffic,
+    PoissonTraffic,
+)
+from repro.errors import ModelError
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        assert PoissonTraffic(2.5).mean_rate == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PoissonTraffic(0.0)
+        with pytest.raises(ModelError):
+            PoissonTraffic(-1.0)
+
+    def test_sample_shape_and_positivity(self):
+        rng = np.random.default_rng(0)
+        gaps = PoissonTraffic(2.0).sample_interarrivals(rng, 1000)
+        assert gaps.shape == (1000,)
+        assert (gaps > 0).all()
+
+    def test_sample_mean_matches_rate(self):
+        rng = np.random.default_rng(1)
+        gaps = PoissonTraffic(4.0).sample_interarrivals(rng, 50_000)
+        assert gaps.mean() == pytest.approx(0.25, rel=0.05)
+
+    def test_negative_count_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ModelError):
+            PoissonTraffic(1.0).sample_interarrivals(rng, -1)
+
+    def test_scaled(self):
+        assert PoissonTraffic(2.0).scaled(1.5).mean_rate == pytest.approx(3.0)
+        with pytest.raises(ModelError):
+            PoissonTraffic(2.0).scaled(0.0)
+
+    def test_deterministic_given_seed(self):
+        g1 = PoissonTraffic(1.0).sample_interarrivals(
+            np.random.default_rng(7), 10
+        )
+        g2 = PoissonTraffic(1.0).sample_interarrivals(
+            np.random.default_rng(7), 10
+        )
+        assert np.array_equal(g1, g2)
+
+
+class TestOnOff:
+    def test_mean_rate(self):
+        t = OnOffTraffic(peak_rate=4.0, mean_on=1.0, mean_off=3.0)
+        assert t.mean_rate == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            OnOffTraffic(0.0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            OnOffTraffic(1.0, 0.0, 1.0)
+        with pytest.raises(ModelError):
+            OnOffTraffic(1.0, 1.0, -1.0)
+
+    def test_sample_mean_near_rate(self):
+        t = OnOffTraffic(peak_rate=5.0, mean_on=2.0, mean_off=2.0)
+        rng = np.random.default_rng(3)
+        gaps = t.sample_interarrivals(rng, 20_000)
+        assert 1.0 / gaps.mean() == pytest.approx(t.mean_rate, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        # Squared coefficient of variation of interarrivals must exceed 1.
+        t = OnOffTraffic(peak_rate=10.0, mean_on=0.5, mean_off=4.0)
+        rng = np.random.default_rng(4)
+        gaps = t.sample_interarrivals(rng, 20_000)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.2
+
+    def test_scaled(self):
+        t = OnOffTraffic(4.0, 1.0, 3.0)
+        assert t.scaled(2.0).mean_rate == pytest.approx(2.0)
+
+
+class TestHyperexponential:
+    def test_mean_rate(self):
+        t = HyperexponentialTraffic(rate1=1.0, rate2=4.0, phase1_prob=0.5)
+        assert t.mean_rate == pytest.approx(1.0 / (0.5 + 0.125))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            HyperexponentialTraffic(0.0, 1.0, 0.5)
+        with pytest.raises(ModelError):
+            HyperexponentialTraffic(1.0, 1.0, 0.0)
+        with pytest.raises(ModelError):
+            HyperexponentialTraffic(1.0, 1.0, 1.0)
+
+    def test_sample_mean(self):
+        t = HyperexponentialTraffic(rate1=0.5, rate2=5.0, phase1_prob=0.3)
+        rng = np.random.default_rng(5)
+        gaps = t.sample_interarrivals(rng, 50_000)
+        expected_gap = 0.3 / 0.5 + 0.7 / 5.0
+        assert gaps.mean() == pytest.approx(expected_gap, rel=0.05)
+
+    @given(
+        r1=st.floats(min_value=0.1, max_value=10.0),
+        r2=st.floats(min_value=0.1, max_value=10.0),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_mean_between_rates(self, r1, r2, p):
+        t = HyperexponentialTraffic(r1, r2, p)
+        assert min(r1, r2) * (1 - 1e-12) <= t.mean_rate <= max(r1, r2) * (1 + 1e-12)

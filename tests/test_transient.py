@@ -1,0 +1,91 @@
+"""Tests for repro.core.transient."""
+
+import pytest
+
+from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
+from repro.core.transient import (
+    longest_queue_policy,
+    time_to_steady_state,
+    transient_loss_profile,
+)
+from repro.errors import ModelError
+
+
+def clients_pair(lam=1.5, mu=2.0, k=2):
+    return [
+        BusClient("a", lam, mu, k),
+        BusClient("b", lam * 0.8, mu, k),
+    ]
+
+
+class TestLongestQueuePolicy:
+    def test_serves_longer_queue(self):
+        clients = clients_pair()
+        model = build_joint_bus_ctmdp(clients)
+        policy = longest_queue_policy(model, clients)
+        assert policy.action_probabilities((2, 1)) == {"a": 1.0}
+        assert policy.action_probabilities((1, 2)) == {"b": 1.0}
+
+    def test_tie_breaks_to_first(self):
+        clients = clients_pair()
+        model = build_joint_bus_ctmdp(clients)
+        policy = longest_queue_policy(model, clients)
+        assert policy.action_probabilities((1, 1)) == {"a": 1.0}
+
+
+class TestTransientProfile:
+    def test_starts_lossless_from_empty(self):
+        profile = transient_loss_profile(clients_pair(), [0.0, 0.1, 5.0])
+        assert profile[0].loss_rate == pytest.approx(0.0)
+        # Loss rate builds up from an empty start.
+        assert profile[-1].loss_rate > profile[0].loss_rate
+
+    def test_converges_to_stationary(self):
+        clients = clients_pair()
+        profile = transient_loss_profile(clients, [200.0])
+        model = build_joint_bus_ctmdp(clients)
+        policy = longest_queue_policy(model, clients)
+        steady = policy.average_cost_rate()
+        assert profile[0].loss_rate == pytest.approx(steady, rel=0.01)
+
+    def test_full_start_transiently_lossier(self):
+        clients = clients_pair()
+        full = tuple(c.capacity for c in clients)
+        from_full = transient_loss_profile(
+            clients, [0.05], initial_state=full
+        )
+        from_empty = transient_loss_profile(clients, [0.05])
+        assert from_full[0].loss_rate > from_empty[0].loss_rate
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            transient_loss_profile(clients_pair(), [])
+        with pytest.raises(ModelError):
+            transient_loss_profile(clients_pair(), [-1.0])
+        with pytest.raises(ModelError):
+            transient_loss_profile(clients_pair(), [2.0, 1.0])
+        with pytest.raises(ModelError):
+            transient_loss_profile(
+                clients_pair(), [1.0], initial_state=(99, 99)
+            )
+
+
+class TestTimeToSteadyState:
+    def test_settles_within_horizon(self):
+        t = time_to_steady_state(clients_pair(), horizon=300.0)
+        assert 0.0 < t <= 300.0
+
+    def test_tolerance_monotone(self):
+        loose = time_to_steady_state(
+            clients_pair(), tolerance=0.2, horizon=200.0
+        )
+        tight = time_to_steady_state(
+            clients_pair(), tolerance=0.01, horizon=200.0
+        )
+        assert loose <= tight + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            time_to_steady_state(clients_pair(), tolerance=0.0)
+        with pytest.raises(ModelError):
+            time_to_steady_state(clients_pair(), horizon=0.0)

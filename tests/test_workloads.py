@@ -1,0 +1,129 @@
+"""Tests for repro.sim.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.arch.templates import amba_like, single_bus
+from repro.errors import ModelError
+from repro.sim.runner import simulate
+from repro.sim.workloads import (
+    RequestTrace,
+    TraceTraffic,
+    record_trace,
+    replay_topology,
+)
+
+
+class TestRequestTrace:
+    def test_basic_properties(self):
+        trace = RequestTrace(((0.5, "a"), (1.0, "b"), (2.0, "a")))
+        assert trace.num_events == 3
+        assert trace.horizon == 2.0
+        assert trace.flows() == ["a", "b"]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ModelError, match="sorted"):
+            RequestTrace(((1.0, "a"), (0.5, "b")))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            RequestTrace(((-1.0, "a"),))
+
+    def test_interarrivals(self):
+        trace = RequestTrace(((1.0, "a"), (1.5, "b"), (3.0, "a")))
+        gaps = trace.interarrivals("a")
+        assert np.allclose(gaps, [1.0, 2.0])
+
+    def test_interarrivals_unknown_flow(self):
+        trace = RequestTrace(((1.0, "a"),))
+        with pytest.raises(ModelError, match="no events"):
+            trace.interarrivals("zzz")
+
+    def test_mean_rate(self):
+        trace = RequestTrace(((1.0, "a"), (2.0, "a"), (4.0, "a")))
+        assert trace.mean_rate("a") == pytest.approx(3.0 / 4.0)
+
+    def test_roundtrip(self):
+        trace = RequestTrace(((0.25, "x"), (1.5, "y"), (2.0, "x")))
+        text = trace.dumps()
+        back = RequestTrace.loads(text)
+        assert back == trace
+
+    def test_loads_comments_and_errors(self):
+        assert RequestTrace.loads("# c\n\n1.0 a\n").num_events == 1
+        with pytest.raises(ModelError, match="expected"):
+            RequestTrace.loads("1.0\n")
+        with pytest.raises(ModelError, match="bad time"):
+            RequestTrace.loads("xx a\n")
+
+
+class TestTraceTraffic:
+    def test_mean_rate(self):
+        t = TraceTraffic([0.5, 0.5, 1.0])
+        assert t.mean_rate == pytest.approx(3.0 / 2.0)
+
+    def test_replay_cycles(self):
+        t = TraceTraffic([0.1, 0.2])
+        rng = np.random.default_rng(0)
+        gaps = t.sample_interarrivals(rng, 5)
+        assert np.allclose(gaps, [0.1, 0.2, 0.1, 0.2, 0.1])
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TraceTraffic([])
+        with pytest.raises(ModelError):
+            TraceTraffic([-0.1])
+        with pytest.raises(ModelError):
+            TraceTraffic([0.0, 0.0])
+
+    def test_scaled(self):
+        t = TraceTraffic([1.0, 1.0])
+        assert t.scaled(2.0).mean_rate == pytest.approx(2.0)
+        with pytest.raises(ModelError):
+            t.scaled(0.0)
+
+
+class TestRecordReplay:
+    def test_record_produces_sorted_trace(self):
+        topo = single_bus(num_processors=3, arrival_rate=1.0)
+        trace = record_trace(topo, duration=100.0, seed=1)
+        assert trace.num_events > 0
+        assert trace.horizon <= 100.0
+
+    def test_record_rates_match_models(self):
+        topo = single_bus(num_processors=3, arrival_rate=2.0)
+        trace = record_trace(topo, duration=2_000.0, seed=2)
+        for flow_name, flow in topo.flows.items():
+            assert trace.mean_rate(flow_name) == pytest.approx(
+                flow.rate, rel=0.15
+            )
+
+    def test_record_validation(self):
+        with pytest.raises(ModelError):
+            record_trace(single_bus(), duration=0.0)
+
+    def test_replay_runs_in_simulator(self):
+        topo = amba_like()
+        trace = record_trace(topo, duration=500.0, seed=3)
+        replayed = replay_topology(topo, trace)
+        from repro.sim.system import required_clients
+
+        caps = {name: 4 for name in required_clients(replayed)}
+        result = simulate(replayed, caps, duration=500.0, seed=0)
+        # The replayed run must offer roughly the recorded request count
+        # (replay cycles, so at least the recorded window's worth).
+        assert result.total_offered >= trace.num_events * 0.8
+
+    def test_replay_deterministic_offered_counts(self):
+        topo = amba_like()
+        trace = record_trace(topo, duration=300.0, seed=4)
+        replayed = replay_topology(topo, trace)
+        from repro.sim.system import required_clients
+
+        caps = {name: 4 for name in required_clients(replayed)}
+        r1 = simulate(replayed, caps, duration=300.0, seed=11)
+        # Re-build (replay cursors are stateful) and run with another
+        # service seed: offered counts are trace-driven hence identical.
+        replayed2 = replay_topology(topo, trace)
+        r2 = simulate(replayed2, caps, duration=300.0, seed=99)
+        assert r1.offered == r2.offered
