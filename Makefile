@@ -1,0 +1,19 @@
+# Developer entry points.  PYTHONPATH is prepended so the src/ layout
+# works without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Perf smoke for every PR: the two throughput benches plus the
+# compiled-kernel micro-benches, 3 rounds minimum each.
+bench-quick:
+	$(PYTHON) -m benchmarks.quick
+
+# The full benchmark suite (regenerates the paper artefacts; slow).
+bench:
+	$(PYTHON) -m pytest benchmarks -q

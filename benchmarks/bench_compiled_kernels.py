@@ -1,0 +1,92 @@
+"""Micro-benchmarks for the compiled kernel layer (repro.core.compiled).
+
+Infrastructure benches, not paper artefacts: they isolate the building
+blocks the sizing pipeline's wall-clock is made of — model freeze,
+sparse uniformization, vectorised DP sweeps, lattice refresh, and
+warm-started LP re-solves — so a regression in any one of them is
+visible without re-running the end-to-end pipeline bench.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
+from repro.core.compiled import CompiledBusLattice, CompiledCTMDP
+from repro.core.dp import relative_value_iteration
+from repro.core.lp import BlockLP
+
+
+def _clients(n=4, cap=4):
+    rng = np.random.default_rng(12)
+    return [
+        BusClient(
+            f"c{i}",
+            arrival_rate=float(rng.uniform(0.5, 1.5)),
+            service_rate=float(rng.uniform(2.0, 4.0)),
+            capacity=cap,
+            loss_weight=float(rng.uniform(0.5, 2.0)),
+        )
+        for i in range(n)
+    ]
+
+
+def test_compile_ctmdp(benchmark):
+    """Freezing a built CTMDP into flat arrays."""
+    model = build_joint_bus_ctmdp(_clients())
+    benchmark(lambda: CompiledCTMDP.from_model(model))
+
+
+def test_sparse_uniformization(benchmark):
+    """CSR uniformization of a 625-state joint bus model."""
+    comp = build_joint_bus_ctmdp(_clients()).compiled()
+    p, _c, _rate = benchmark(comp.uniformized_sparse)
+    assert p.shape[0] == comp.n_pairs
+
+
+def test_dense_uniformization_reference(benchmark):
+    """The dense reference path, for the speedup ratio."""
+    model = build_joint_bus_ctmdp(_clients())
+    model.compiled()  # exclude one-time compile from the dense timing
+    p, _c, _pairs, _rate = benchmark(model.uniformized)
+    assert p.shape[1] == model.num_states
+
+
+def test_vectorized_value_iteration(benchmark):
+    """Vectorised RVI on the compiled sparse form."""
+    model = build_joint_bus_ctmdp(_clients(n=3, cap=4))
+    solution = benchmark(lambda: relative_value_iteration(model, tol=1e-9))
+    assert solution.average_cost_rate >= 0.0
+
+
+def test_lattice_build(benchmark):
+    """Building the joint occupancy lattice directly into arrays."""
+    clients = _clients()
+    lattice = benchmark(lambda: CompiledBusLattice(clients))
+    assert lattice.n_states == 5 ** 4
+
+
+def test_lattice_refresh_vs_rebuild(benchmark):
+    """In-place rate refresh — the bridge fixed point's inner step."""
+    clients = _clients()
+    lattice = CompiledBusLattice(clients)
+    rates = {c.name: c.arrival_rate * 0.9 for c in clients}
+
+    def refresh():
+        assert lattice.refresh(rates)
+
+    benchmark(refresh)
+
+
+def test_warm_started_lp_resolve(benchmark):
+    """Re-solving the occupation LP from the previous optimal basis."""
+    block = BlockLP()
+    block.add_block(build_joint_bus_ctmdp(_clients()))
+    program = block.compile()
+    program.solve(warm=False)  # cold solve establishes the basis
+
+    def resolve():
+        result, _ = program.solve(warm=True)
+        return result
+
+    result = benchmark(resolve)
+    assert result.status == "optimal"

@@ -1,0 +1,30 @@
+"""Quick perf smoke target: ``python -m benchmarks.quick``.
+
+Runs the simulator/sizing throughput benchmarks plus the compiled-kernel
+micro-benches with ``--benchmark-min-rounds=3`` — a couple of minutes,
+meant to run on every PR so perf regressions in the hot paths are
+visible immediately.  ``make bench-quick`` wraps this module.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+
+def main() -> int:
+    bench_dir = Path(__file__).resolve().parent
+    args = [
+        str(bench_dir / "bench_sim_throughput.py"),
+        str(bench_dir / "bench_compiled_kernels.py"),
+        "--benchmark-min-rounds=3",
+        "-q",
+    ]
+    args.extend(sys.argv[1:])
+    return pytest.main(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,26 +96,34 @@ class OnOffTraffic(TrafficDescriptor):
         return self._walk(rng, count)
 
     def _walk(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # The draw order is data-dependent (phase changes interleave with
+        # arrival candidates on one stream), so this walk cannot be
+        # vectorised without changing fixed-seed outputs; hoisting the
+        # attribute and method lookups is the safe speedup.
         gaps = np.empty(count)
-        p_on = self.mean_on / (self.mean_on + self.mean_off)
+        exponential = rng.exponential
+        mean_on = self.mean_on
+        mean_off = self.mean_off
+        arrival_scale = 1.0 / self.peak_rate
+        p_on = mean_on / (mean_on + mean_off)
         in_on = bool(rng.random() < p_on)
-        phase_left = rng.exponential(self.mean_on if in_on else self.mean_off)
+        phase_left = exponential(mean_on if in_on else mean_off)
         for k in range(count):
             gap = 0.0
             while True:
                 if in_on:
-                    candidate = rng.exponential(1.0 / self.peak_rate)
+                    candidate = exponential(arrival_scale)
                     if candidate <= phase_left:
                         phase_left -= candidate
                         gap += candidate
                         break
                     gap += phase_left
                     in_on = False
-                    phase_left = rng.exponential(self.mean_off)
+                    phase_left = exponential(mean_off)
                 else:
                     gap += phase_left
                     in_on = True
-                    phase_left = rng.exponential(self.mean_on)
+                    phase_left = exponential(mean_on)
             gaps[k] = gap
         return gaps
 

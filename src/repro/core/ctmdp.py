@@ -60,6 +60,17 @@ class CTMDP:
         self._cost_rates: Dict[Tuple[State, Action], float] = {}
         self._constraint_rates: Dict[str, Dict[Tuple[State, Action], float]] = {}
         self._validated = False
+        # Derived caches, invalidated whenever an action is added.
+        self._exit_rates: Dict[Tuple[State, Action], float] = {}
+        self._max_exit: Optional[float] = None
+        self._pairs_cache: Optional[List[Tuple[State, Action]]] = None
+        self._compiled = None
+
+    def _invalidate_caches(self) -> None:
+        self._validated = False
+        self._max_exit = None
+        self._pairs_cache = None
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,7 +83,7 @@ class CTMDP:
         self._state_index[state] = len(self._states)
         self._states.append(state)
         self._actions[state] = []
-        self._validated = False
+        self._invalidate_caches()
 
     def add_action(
         self,
@@ -120,7 +131,11 @@ class CTMDP:
             self._constraint_rates.setdefault(name, {})[(state, action)] = float(
                 value
             )
-        self._validated = False
+        exit_rate = 0.0
+        for t in cleaned:
+            exit_rate += t.rate
+        self._exit_rates[(state, action)] = exit_rate
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -178,14 +193,62 @@ class CTMDP:
         return self._constraint_rates.get(name, {}).get((state, action), 0.0)
 
     def exit_rate(self, state: State, action: Action) -> float:
-        """Total departure rate of a (state, action) pair."""
-        return sum(t.rate for t in self.transitions(state, action))
+        """Total departure rate of a (state, action) pair (cached)."""
+        key = (state, action)
+        try:
+            return self._exit_rates[key]
+        except KeyError:
+            raise ModelError(f"unknown state-action {key!r}") from None
 
     def state_action_pairs(self) -> List[Tuple[State, Action]]:
-        """All (state, action) pairs in deterministic order."""
-        return [
-            (s, a) for s in self._states for a in self._actions[s]
-        ]
+        """All (state, action) pairs in deterministic order (fresh list)."""
+        return list(self.state_action_pairs_ro())
+
+    # ------------------------------------------------------------------
+    # Read-only fast accessors — no defensive copies.  Used by solvers
+    # and the compiled kernel layer; callers must not mutate the
+    # returned containers.
+    # ------------------------------------------------------------------
+
+    @property
+    def states_ro(self) -> List[State]:
+        """States in insertion order — the internal list, do not mutate."""
+        return self._states
+
+    def actions_ro(self, state: State) -> List[Action]:
+        """Actions of a state — the internal list, do not mutate."""
+        try:
+            return self._actions[state]
+        except KeyError:
+            raise ModelError(f"unknown state {state!r}") from None
+
+    def transitions_ro(self, state: State, action: Action) -> List[Transition]:
+        """Transitions of a pair — the internal list, do not mutate."""
+        try:
+            return self._transitions[(state, action)]
+        except KeyError:
+            raise ModelError(
+                f"unknown state-action {(state, action)!r}"
+            ) from None
+
+    def state_action_pairs_ro(self) -> List[Tuple[State, Action]]:
+        """Cached pair list in deterministic order — do not mutate."""
+        if self._pairs_cache is None:
+            self._pairs_cache = [
+                (s, a) for s in self._states for a in self._actions[s]
+            ]
+        return self._pairs_cache
+
+    def compiled(self):
+        """The :class:`~repro.core.compiled.CompiledCTMDP` view (cached).
+
+        Recompiled lazily after any :meth:`add_action`/:meth:`add_state`.
+        """
+        if self._compiled is None:
+            from repro.core.compiled import CompiledCTMDP
+
+            self._compiled = CompiledCTMDP.from_model(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Validation and derived models
@@ -213,17 +276,16 @@ class CTMDP:
         self._validated = True
 
     def max_exit_rate(self) -> float:
-        """Largest exit rate over all (state, action) pairs."""
+        """Largest exit rate over all (state, action) pairs (cached)."""
         self.validate()
-        return max(
-            (self.exit_rate(s, a) for s, a in self.state_action_pairs()),
-            default=0.0,
-        )
+        if self._max_exit is None:
+            self._max_exit = max(self._exit_rates.values(), default=0.0)
+        return self._max_exit
 
     def uniformized(
-        self, rate: Optional[float] = None
+        self, rate: Optional[float] = None, tol: float = 1e-6
     ) -> Tuple[np.ndarray, np.ndarray, List[Tuple[State, Action]], float]:
-        """Uniformize into a discrete-time MDP.
+        """Uniformize into a discrete-time MDP (dense reference path).
 
         Returns ``(P, c, pairs, rate)`` where row ``k`` of ``P`` is the
         one-step distribution of pair ``pairs[k] = (state, action)``, and
@@ -231,6 +293,17 @@ class CTMDP:
         average cost per unit time of the CTMDP equals ``rate`` times the
         average cost per step of this DTMDP, so solvers can work entirely
         in discrete time.
+
+        Rows are renormalised only to absorb floating-point round-off:
+        a row whose sum deviates from one by more than ``tol`` indicates
+        inconsistent rate bookkeeping and raises :class:`ModelError`
+        naming the offending (state, action) pair rather than silently
+        rescaling the distribution.
+
+        The compiled layer provides the sparse equivalent
+        (:meth:`repro.core.compiled.CompiledCTMDP.uniformized_sparse`);
+        this dense form remains the reference implementation and the
+        convenient choice for small models and notebooks.
         """
         self.validate()
         max_exit = self.max_exit_rate()
@@ -246,18 +319,27 @@ class CTMDP:
         c = np.zeros(len(pairs))
         for k, (s, a) in enumerate(pairs):
             i = self._state_index[s]
-            stay = 1.0
+            # Self-loop slack from the *cached* exit rate: the row-sum
+            # check below then cross-checks the cache against the actual
+            # transition list, catching stale bookkeeping loudly.
+            stay = 1.0 - self._exit_rates[(s, a)] / rate
             for t in self._transitions[(s, a)]:
                 j = self._state_index[t.target]
-                prob = t.rate / rate
-                p[k, j] += prob
-                stay -= prob
+                p[k, j] += t.rate / rate
             p[k, i] += stay
             c[k] = self._cost_rates[(s, a)] / rate
         if (p < -1e-12).any():
             raise ModelError("uniformization produced negative probabilities")
         p = np.clip(p, 0.0, None)
-        p /= p.sum(axis=1, keepdims=True)
+        sums = p.sum(axis=1)
+        deviation = np.abs(sums - 1.0)
+        if (deviation > tol).any():
+            k = int(deviation.argmax())
+            raise ModelError(
+                f"uniformized row for pair {pairs[k]!r} sums to "
+                f"{sums[k]:.12g}; transition rates are inconsistent"
+            )
+        p /= sums[:, np.newaxis]
         return p, c, pairs, rate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -6,10 +6,12 @@ and policy iteration on the uniformized chain must agree with the LP —
 tests and the solver-ablation bench (`benchmarks/bench_ablation_solvers.py`)
 rely on this cross-check, which guards both implementations.
 
-Both solvers work on the uniformized discrete-time MDP returned by
-:meth:`repro.core.ctmdp.CTMDP.uniformized`; the discrete average cost per
-step is converted back to a continuous-time cost *rate* by multiplying
-with the uniformization rate.
+Both solvers work on the uniformized discrete-time MDP.  By default they
+run on the **compiled** sparse form
+(:meth:`repro.core.compiled.CompiledCTMDP.uniformized_sparse`) with fully
+vectorised Bellman sweeps; ``use_compiled=False`` selects the original
+dense, per-state-loop reference implementation, which the equivalence
+tests in ``tests/test_compiled.py`` hold the fast path against.
 """
 
 from __future__ import annotations
@@ -49,19 +51,39 @@ class DPSolution:
 
 def _grouped_pairs(model: CTMDP) -> List[Tuple[State, List[int]]]:
     """For each state, the row indices of its actions in the pair list."""
-    pairs = model.state_action_pairs()
+    pairs = model.state_action_pairs_ro()
     index_of_pair = {pair: k for k, pair in enumerate(pairs)}
     grouped = []
-    for s in model.states:
-        rows = [index_of_pair[(s, a)] for a in model.actions(s)]
+    for s in model.states_ro:
+        rows = [index_of_pair[(s, a)] for a in model.actions_ro(s)]
         grouped.append((s, rows))
     return grouped
+
+
+def _first_argmin_per_group(
+    q_values: np.ndarray,
+    group_mins: np.ndarray,
+    pair_state: np.ndarray,
+    n_states: int,
+) -> np.ndarray:
+    """Lowest pair row achieving each state's minimum Q-value.
+
+    ``group_mins`` must be exact element values (e.g. from
+    ``np.minimum.reduceat``) so the equality test below matches at least
+    one row per state; writing hits in reverse keeps the *first* one,
+    matching ``np.argmin``'s tie-breaking in the reference path.
+    """
+    hits = np.flatnonzero(q_values <= group_mins[pair_state])
+    best = np.empty(n_states, dtype=np.int64)
+    best[pair_state[hits][::-1]] = hits[::-1]
+    return best
 
 
 def relative_value_iteration(
     model: CTMDP,
     tol: float = 1e-10,
     max_iter: int = 500_000,
+    use_compiled: bool = True,
 ) -> DPSolution:
     """Relative value iteration for the average-cost criterion.
 
@@ -70,12 +92,49 @@ def relative_value_iteration(
     ``tol``.  Requires the uniformized chain to be aperiodic, which the
     self-loop slack introduced by strict uniformization guarantees.
 
+    ``use_compiled=False`` runs the dense per-state reference loops.
+
     Raises
     ------
     SolverError
         If the span fails to contract within ``max_iter`` sweeps.
     """
     model.validate()
+    if not use_compiled:
+        return _reference_rvi(model, tol, max_iter)
+    comp = model.compiled()
+    p, c, rate = comp.uniformized_sparse()
+    group_start = comp.group_start[:-1]
+    pair_state = comp.pair_state
+    n = comp.n_states
+    h = np.zeros(n)
+    for iteration in range(1, max_iter + 1):
+        q_values = c + p @ h
+        t_h = np.minimum.reduceat(q_values, group_start)
+        diff = t_h - h
+        span = float(diff.max() - diff.min())
+        h = t_h - t_h[0]
+        if span < tol:
+            gain_per_step = float(0.5 * (diff.max() + diff.min()))
+            best_rows = _first_argmin_per_group(q_values, t_h, pair_state, n)
+            choice = {
+                s: comp.pairs[best_rows[i]][1]
+                for i, s in enumerate(comp.states)
+            }
+            policy = StationaryPolicy.deterministic(model, choice)
+            return DPSolution(
+                average_cost_rate=gain_per_step * rate,
+                policy=policy,
+                bias=h,
+                iterations=iteration,
+            )
+    raise SolverError(
+        f"relative value iteration did not converge in {max_iter} sweeps"
+    )
+
+
+def _reference_rvi(model: CTMDP, tol: float, max_iter: int) -> DPSolution:
+    """Original dense per-state implementation (equivalence reference)."""
     p, c, pairs, rate = model.uniformized()
     grouped = _grouped_pairs(model)
     n = model.num_states
@@ -112,6 +171,7 @@ def relative_value_iteration(
 def policy_iteration(
     model: CTMDP,
     max_iter: int = 10_000,
+    use_compiled: bool = True,
 ) -> DPSolution:
     """Howard policy iteration for the average-cost criterion.
 
@@ -121,19 +181,66 @@ def policy_iteration(
     this library because arrivals and services keep the occupancy lattice
     connected.
 
+    ``use_compiled=False`` runs the dense per-state reference loops.
+
     Raises
     ------
     SolverError
         If no stable policy is found within ``max_iter`` improvements.
     """
     model.validate()
+    if not use_compiled:
+        return _reference_pi(model, max_iter)
+    comp = model.compiled()
+    p, c, rate = comp.uniformized_sparse()
+    group_start = comp.group_start[:-1]
+    pair_state = comp.pair_state
+    n = comp.n_states
+    # Start from each state's first action.
+    current = comp.group_start[:-1].astype(np.int64).copy()
+    for iteration in range(1, max_iter + 1):
+        # --- evaluation: solve (I - P_pi) h + g 1 = c_pi with h[0] = 0.
+        p_pi = p[current].toarray()
+        c_pi = c[current]
+        a = np.zeros((n + 1, n + 1))
+        a[:n, :n] = np.eye(n) - p_pi
+        a[:n, n] = 1.0
+        a[n, 0] = 1.0  # pin h[0] = 0
+        rhs = np.concatenate([c_pi, [0.0]])
+        try:
+            solution = np.linalg.lstsq(a, rhs, rcond=None)[0]
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+            raise SolverError("policy evaluation failed") from exc
+        h, gain = solution[:n], float(solution[n])
+        # --- improvement (incumbent kept on ties to guarantee
+        # termination, as in the reference path).
+        q_values = c + p @ h
+        mins = np.minimum.reduceat(q_values, group_start)
+        best_rows = _first_argmin_per_group(q_values, mins, pair_state, n)
+        improve = q_values[best_rows] < q_values[current] - 1e-12
+        new_current = np.where(improve, best_rows, current)
+        if (new_current == current).all():
+            choice = {
+                s: comp.pairs[current[i]][1] for i, s in enumerate(comp.states)
+            }
+            policy = StationaryPolicy.deterministic(model, choice)
+            return DPSolution(
+                average_cost_rate=gain * rate,
+                policy=policy,
+                bias=h - h[0],
+                iterations=iteration,
+            )
+        current = new_current
+    raise SolverError(f"policy iteration did not converge in {max_iter} steps")
+
+
+def _reference_pi(model: CTMDP, max_iter: int) -> DPSolution:
+    """Original dense per-state implementation (equivalence reference)."""
     p, c, pairs, rate = model.uniformized()
     grouped = _grouped_pairs(model)
     n = model.num_states
-    # Start from each state's first action.
     current = np.array([rows[0] for (_s, rows) in grouped], dtype=int)
     for iteration in range(1, max_iter + 1):
-        # --- evaluation: solve (I - P_pi) h + g 1 = c_pi with h[0] = 0.
         p_pi = p[current]
         c_pi = c[current]
         a = np.zeros((n + 1, n + 1))
@@ -146,7 +253,6 @@ def policy_iteration(
         except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
             raise SolverError("policy evaluation failed") from exc
         h, gain = solution[:n], float(solution[n])
-        # --- improvement.
         q_values = c + p @ h
         new_current = current.copy()
         for i, (_s, rows) in enumerate(grouped):

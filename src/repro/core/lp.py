@@ -28,17 +28,25 @@ of them **in one go** — corresponds here to :class:`BlockLP`: one
 occupation-measure block per subsystem, stitched together by *shared
 linear* constraints (the global buffer budget) while bridge flow rates are
 resolved by an outer fixed point (:mod:`repro.core.sizing`).
+
+Assembly runs on the compiled kernel layer (:mod:`repro.core.compiled`):
+each block contributes pre-flattened COO triplets instead of per-pair
+dict walks, and :class:`BlockProgram` keeps the sparse structure plus
+the last optimal simplex **basis** between solves, so a sequence of LPs
+that differ only in rate/cost coefficients — the bridge-rate fixed point
+of :class:`~repro.core.sizing.BufferSizer` — pays the interior-point
+cost once and warm-starts every subsequent solve.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.optimize import linprog
 from scipy.sparse import csr_matrix
 
+from repro.core.compiled import SparseLPResult, solve_sparse_lp
 from repro.core.ctmdp import CTMDP, Action, State
 from repro.core.policy import StationaryPolicy, policy_from_occupation_measure
 from repro.errors import InfeasibleError, SolverError
@@ -66,7 +74,9 @@ class LPSolution:
     occupations:
         Per block: mapping ``(state, action) -> probability mass``.
     policies:
-        Per block: the extracted stationary randomised policy.
+        Per block: the extracted stationary randomised policy.  Empty
+        for the model-free compiled sizing path, which carries no CTMDP
+        objects to extract policies from.
     block_costs:
         Per block: its own average cost rate under the solution.
     constraint_values:
@@ -113,6 +123,217 @@ class AverageCostLP:
         block = BlockLP()
         block.add_block(self.model, constraints=constraints)
         return block.solve(maximise=maximise)
+
+
+class BlockProgram:
+    """A compiled joint occupation-measure LP with refreshable values.
+
+    The program is assembled from *block providers* — any objects
+    exposing ``n_states``, ``n_pairs``, ``cost_rates``,
+    ``balance_coo()`` and ``constraint_vector(name)``
+    (:class:`~repro.core.compiled.CompiledCTMDP` and
+    :class:`~repro.core.compiled.CompiledBusLattice` both qualify).  The
+    sparsity *structure* is fixed at construction; every call to
+    :meth:`solve` re-reads the providers' current coefficient arrays, so
+    callers refresh rates in place and re-solve.  The optimal basis of
+    each solve warm-starts the next.
+
+    Inequality rows come in two forms: ``vector`` rows built from each
+    provider's named constraint vector (re-read per solve), and ``dict``
+    rows with explicit per-pair coefficients (fixed at construction).
+    """
+
+    def __init__(
+        self,
+        providers: Sequence,
+        weights: Sequence[float],
+    ) -> None:
+        if not providers:
+            raise SolverError("BlockProgram has no blocks")
+        self.providers = list(providers)
+        self.weights = [float(w) for w in weights]
+        self.pair_offsets = np.cumsum(
+            [0] + [p.n_pairs for p in self.providers]
+        )
+        self.num_vars = int(self.pair_offsets[-1])
+        self.num_balance = sum(p.n_states for p in self.providers)
+        # (key, per-block constraint name or None, cols, vals, bound);
+        # vector rows recompute cols/vals from providers at solve time.
+        self._vector_rows: List[Tuple[object, List[str], float]] = []
+        self._dict_rows: List[
+            Tuple[object, np.ndarray, np.ndarray, float]
+        ] = []
+        self._basis = None
+
+    # ------------------------------------------------------------------
+
+    def add_vector_row(
+        self, key: object, names: List[Optional[str]], bound: float
+    ) -> None:
+        """Row ``sum_b x_b . constraint_vector(names[b]) <= bound``.
+
+        ``names[b] = None`` leaves block ``b`` out of the row.
+        """
+        if len(names) != len(self.providers):
+            raise SolverError(
+                f"constraint {key!r} supplies {len(names)} names for "
+                f"{len(self.providers)} blocks"
+            )
+        self._vector_rows.append((key, list(names), float(bound)))
+
+    def add_dict_row(
+        self, key: object, cols: np.ndarray, vals: np.ndarray, bound: float
+    ) -> None:
+        """Row with explicit column coefficients (fixed values)."""
+        self._dict_rows.append(
+            (key, np.asarray(cols), np.asarray(vals), float(bound))
+        )
+
+    # ------------------------------------------------------------------
+
+    def _assemble_equalities(self) -> Tuple[csr_matrix, np.ndarray]:
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+        state_offset = 0
+        for b, provider in enumerate(self.providers):
+            r, c, v = provider.balance_coo()
+            rows.append(r + state_offset)
+            cols.append(c + self.pair_offsets[b])
+            vals.append(v)
+            state_offset += provider.n_states
+        # Normalisation row per block.
+        for b, provider in enumerate(self.providers):
+            cols.append(
+                np.arange(
+                    self.pair_offsets[b],
+                    self.pair_offsets[b + 1],
+                    dtype=np.int64,
+                )
+            )
+            rows.append(
+                np.full(provider.n_pairs, self.num_balance + b, dtype=np.int64)
+            )
+            vals.append(np.ones(provider.n_pairs))
+        a_eq = csr_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(self.num_balance + len(self.providers), self.num_vars),
+        )
+        b_eq = np.zeros(self.num_balance + len(self.providers))
+        b_eq[self.num_balance:] = 1.0
+        return a_eq, b_eq
+
+    def _assemble_inequalities(
+        self, bound_overrides: Optional[Dict[object, float]]
+    ) -> Tuple[
+        Optional[csr_matrix],
+        Optional[np.ndarray],
+        List[Tuple[object, np.ndarray, np.ndarray]],
+    ]:
+        ub_rows: List[Tuple[object, np.ndarray, np.ndarray, float]] = []
+        for key, names, bound in self._vector_rows:
+            cols_parts: List[np.ndarray] = []
+            vals_parts: List[np.ndarray] = []
+            for b, name in enumerate(names):
+                if name is None:
+                    continue
+                vec = self.providers[b].constraint_vector(name)
+                nz = np.flatnonzero(vec)
+                cols_parts.append(nz + self.pair_offsets[b])
+                vals_parts.append(vec[nz])
+            cols = (
+                np.concatenate(cols_parts)
+                if cols_parts
+                else np.empty(0, dtype=np.int64)
+            )
+            vals = np.concatenate(vals_parts) if vals_parts else np.empty(0)
+            ub_rows.append((key, cols, vals, bound))
+        for key, cols, vals, bound in self._dict_rows:
+            ub_rows.append((key, cols, vals, bound))
+        if not ub_rows:
+            return None, None, []
+        if bound_overrides:
+            ub_rows = [
+                (key, cols, vals, bound_overrides.get(key, bound))
+                for key, cols, vals, bound in ub_rows
+            ]
+        r = np.concatenate(
+            [
+                np.full(len(cols), i, dtype=np.int64)
+                for i, (_k, cols, _v, _b) in enumerate(ub_rows)
+            ]
+        )
+        c = np.concatenate([cols for (_k, cols, _v, _b) in ub_rows])
+        v = np.concatenate([vals for (_k, _c, vals, _b) in ub_rows])
+        a_ub = csr_matrix(
+            (v, (r, c)), shape=(len(ub_rows), self.num_vars)
+        )
+        b_ub = np.array([bound for (_k, _c, _v, bound) in ub_rows])
+        return a_ub, b_ub, [(k, cols, vals) for (k, cols, vals, _b) in ub_rows]
+
+    def cost_vector(self, maximise: bool = False) -> np.ndarray:
+        """Current weighted objective coefficients across all blocks."""
+        cost = np.concatenate(
+            [
+                w * provider.cost_rates
+                for provider, w in zip(self.providers, self.weights)
+            ]
+        )
+        return -cost if maximise else cost
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        maximise: bool = False,
+        bound_overrides: Optional[Dict[object, float]] = None,
+        warm: bool = True,
+    ) -> Tuple[SparseLPResult, Dict[object, float]]:
+        """Assemble from current provider values and solve.
+
+        Returns the raw backend result plus the achieved value of every
+        inequality row.  ``bound_overrides`` replaces the stored bound of
+        matching row keys for this solve only (the adaptive space-bound
+        relaxation).  A successful solve stores its basis; ``warm=True``
+        reuses it on the next call.
+
+        Raises
+        ------
+        InfeasibleError
+            If the program is infeasible.
+        SolverError
+            For any other backend failure.
+        """
+        cost = self.cost_vector(maximise)
+        a_eq, b_eq = self._assemble_equalities()
+        a_ub, b_ub, row_coeffs = self._assemble_inequalities(bound_overrides)
+        result = solve_sparse_lp(
+            cost,
+            a_eq,
+            b_eq,
+            a_ub,
+            b_ub,
+            warm_basis=self._basis if warm else None,
+        )
+        if result.status == "infeasible":
+            raise InfeasibleError(
+                "occupation-measure LP is infeasible: " + result.message,
+                status=result.status,
+            )
+        if result.status != "optimal":
+            raise SolverError(
+                "LP backend failed: " + result.message,
+                status=result.status,
+            )
+        self._basis = result.basis
+        x = np.clip(result.x, 0.0, None)
+        achieved = {
+            key: float(x[cols] @ vals) for key, cols, vals in row_coeffs
+        }
+        return result, achieved
 
 
 class BlockLP:
@@ -195,15 +416,52 @@ class BlockLP:
         """
         coefficients = []
         for model in self._models:
-            coeffs: Dict[Tuple[State, Action], float] = {}
-            for s, a in model.state_action_pairs():
-                value = model.constraint_rate(constraint_name, s, a)
-                if value != 0.0:
-                    coeffs[(s, a)] = value
-            coefficients.append(coeffs)
+            comp = model.compiled()
+            vec = comp.constraint_vector(constraint_name)
+            nz = np.flatnonzero(vec)
+            coefficients.append(
+                {comp.pairs[k]: float(vec[k]) for k in nz}
+            )
         self.add_shared_constraint(name, coefficients, bound)
 
     # ------------------------------------------------------------------
+
+    def compile(self) -> BlockProgram:
+        """Freeze the sparse structure into a reusable BlockProgram."""
+        if not self._models:
+            raise SolverError("BlockLP has no blocks")
+        providers = [m.compiled() for m in self._models]
+        program = BlockProgram(providers, self._weights)
+        for b, specs in enumerate(self._local_constraints):
+            for spec in specs:
+                names: List[Optional[str]] = [None] * len(providers)
+                names[b] = spec.name
+                program.add_vector_row((b, spec.name), names, spec.bound)
+        for name, coefficient_maps, bound in self._shared_constraints:
+            cols: List[int] = []
+            vals: List[float] = []
+            for b, cmap in enumerate(coefficient_maps):
+                if not cmap:
+                    continue
+                pair_index = providers[b].pair_index()
+                for pair, value in cmap.items():
+                    if pair not in pair_index:
+                        raise SolverError(
+                            f"shared constraint {name!r} references unknown "
+                            f"state-action {pair!r} in block {b}"
+                        )
+                    if value != 0.0:
+                        cols.append(
+                            int(program.pair_offsets[b]) + pair_index[pair]
+                        )
+                        vals.append(value)
+            program.add_dict_row(
+                name,
+                np.asarray(cols, dtype=np.int64),
+                np.asarray(vals, dtype=float),
+                bound,
+            )
+        return program
 
     def solve(self, maximise: bool = False) -> LPSolution:
         """Assemble and solve the joint LP with HiGHS.
@@ -216,167 +474,29 @@ class BlockLP:
         SolverError
             For any other backend failure.
         """
-        if not self._models:
-            raise SolverError("BlockLP has no blocks")
-        # Column layout: blocks in order, each block's (s, a) pairs in
-        # deterministic order.
-        pair_lists = [m.state_action_pairs() for m in self._models]
-        offsets = np.cumsum([0] + [len(p) for p in pair_lists])
-        num_vars = int(offsets[-1])
-
-        cost = np.zeros(num_vars)
-        for b, model in enumerate(self._models):
-            for k, (s, a) in enumerate(pair_lists[b]):
-                cost[offsets[b] + k] = self._weights[b] * model.cost_rate(s, a)
-        if maximise:
-            cost = -cost
-
-        # Equality rows: balance per state per block + normalisation per
-        # block.  Assemble as COO triplets (much faster than element-wise
-        # sparse writes for the tens of thousands of entries a joint bus
-        # model produces).
-        num_balance = sum(m.num_states for m in self._models)
-        eq_rows: List[int] = []
-        eq_cols: List[int] = []
-        eq_vals: List[float] = []
-        b_eq = np.zeros(num_balance + self.num_blocks)
-        row = 0
-        row_of_state: List[Dict[State, int]] = []
-        for b, model in enumerate(self._models):
-            rows = {}
-            for s in model.states:
-                rows[s] = row
-                row += 1
-            row_of_state.append(rows)
-        for b, model in enumerate(self._models):
-            for k, (s, a) in enumerate(pair_lists[b]):
-                col = offsets[b] + k
-                exit_rate = 0.0
-                for t in model.transitions(s, a):
-                    eq_rows.append(row_of_state[b][t.target])
-                    eq_cols.append(col)
-                    eq_vals.append(t.rate)
-                    exit_rate += t.rate
-                eq_rows.append(row_of_state[b][s])
-                eq_cols.append(col)
-                eq_vals.append(-exit_rate)
-        for b in range(self.num_blocks):
-            for col in range(offsets[b], offsets[b + 1]):
-                eq_rows.append(num_balance + b)
-                eq_cols.append(col)
-                eq_vals.append(1.0)
-            b_eq[num_balance + b] = 1.0
-        a_eq = csr_matrix(
-            (eq_vals, (eq_rows, eq_cols)),
-            shape=(num_balance + self.num_blocks, num_vars),
-        )
-
-        # Inequality rows: local constraints then shared constraints.
-        ub_rows: List[Tuple[Dict[int, float], float, object]] = []
-        for b, model in enumerate(self._models):
-            pair_index = {pair: k for k, pair in enumerate(pair_lists[b])}
-            for spec in self._local_constraints[b]:
-                coeffs: Dict[int, float] = {}
-                for pair, k in pair_index.items():
-                    value = model.constraint_rate(spec.name, *pair)
-                    if value != 0.0:
-                        coeffs[offsets[b] + k] = value
-                ub_rows.append((coeffs, spec.bound, (b, spec.name)))
-        for name, coefficient_maps, bound in self._shared_constraints:
-            coeffs = {}
-            for b, cmap in enumerate(coefficient_maps):
-                pair_index = {pair: k for k, pair in enumerate(pair_lists[b])}
-                for pair, value in cmap.items():
-                    if pair not in pair_index:
-                        raise SolverError(
-                            f"shared constraint {name!r} references unknown "
-                            f"state-action {pair!r} in block {b}"
-                        )
-                    if value != 0.0:
-                        coeffs[offsets[b] + pair_index[pair]] = value
-            ub_rows.append((coeffs, bound, name))
-
-        if ub_rows:
-            ub_r: List[int] = []
-            ub_c: List[int] = []
-            ub_v: List[float] = []
-            b_ub = np.zeros(len(ub_rows))
-            for r, (coeffs, bound, _key) in enumerate(ub_rows):
-                for col, value in coeffs.items():
-                    ub_r.append(r)
-                    ub_c.append(col)
-                    ub_v.append(value)
-                b_ub[r] = bound
-            a_ub = csr_matrix(
-                (ub_v, (ub_r, ub_c)), shape=(len(ub_rows), num_vars)
-            )
-        else:
-            a_ub = None
-            b_ub = None
-
-        # Interior point (with HiGHS's default crossover to a basic
-        # solution) is several times faster than simplex on these highly
-        # degenerate occupation-measure LPs; fall back to simplex when
-        # IPM struggles.
-        result = linprog(
-            cost,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=(0, None),
-            method="highs-ipm",
-        )
-        if not result.success and result.status not in (2,):
-            result = linprog(
-                cost,
-                A_ub=a_ub,
-                b_ub=b_ub,
-                A_eq=a_eq,
-                b_eq=b_eq,
-                bounds=(0, None),
-                method="highs",
-            )
-        if not result.success:
-            message = str(result.message)
-            if result.status == 2 or "infeasible" in message.lower():
-                raise InfeasibleError(
-                    "occupation-measure LP is infeasible: " + message,
-                    status=str(result.status),
-                )
-            raise SolverError(
-                "LP backend failed: " + message,
-                status=str(result.status),
-            )
-
+        program = self.compile()
+        result, achieved = program.solve(maximise=maximise, warm=False)
         x = np.clip(result.x, 0.0, None)
         occupations: List[Dict[Tuple[State, Action], float]] = []
         policies: List[StationaryPolicy] = []
         block_costs: List[float] = []
         for b, model in enumerate(self._models):
+            comp = program.providers[b]
+            xb = x[program.pair_offsets[b]:program.pair_offsets[b + 1]]
             occ = {
-                pair: float(x[offsets[b] + k])
-                for k, pair in enumerate(pair_lists[b])
+                pair: float(xb[k]) for k, pair in enumerate(comp.pairs)
             }
             occupations.append(occ)
             policies.append(policy_from_occupation_measure(model, occ))
-            block_costs.append(
-                sum(
-                    mass * model.cost_rate(s, a)
-                    for (s, a), mass in occ.items()
-                )
-            )
-        constraint_values: Dict[object, float] = {}
-        for coeffs, _bound, key in ub_rows:
-            constraint_values[key] = float(
-                sum(x[col] * value for col, value in coeffs.items())
-            )
-        objective = float(result.fun if not maximise else -result.fun)
+            block_costs.append(float(xb @ comp.cost_rates))
+        objective = float(
+            result.objective if not maximise else -result.objective
+        )
         return LPSolution(
             objective=objective,
             occupations=occupations,
             policies=policies,
             block_costs=block_costs,
-            constraint_values=constraint_values,
-            iterations=int(getattr(result, "nit", 0) or 0),
+            constraint_values=achieved,
+            iterations=result.iterations,
         )

@@ -14,10 +14,19 @@
    (:class:`repro.core.lp.BlockLP`).
 4. **Iterate the bridge-rate fixed point**: recompute carried rates into
    every bridge buffer from the blocking probabilities of the latest
-   solution, rebuild, resolve, until rates converge.
+   solution, refresh, resolve, until rates converge.
 5. **Translate** the final occupation measures into an integer
    allocation via the K-switching machinery
    (:mod:`repro.core.kswitching`).
+
+By default the pipeline runs on the compiled kernel layer
+(:mod:`repro.core.compiled`): each joint subsystem is built once as a
+:class:`~repro.core.compiled.CompiledBusLattice`, the joint LP structure
+is assembled once into a :class:`~repro.core.lp.BlockProgram`, and each
+bridge-rate iteration only refreshes arrival-rate coefficients and
+re-solves from the previous optimal basis.  ``use_compiled=False``
+selects the original rebuild-everything reference path, which the
+equivalence tests hold the fast path against.
 
 The result plugs directly into the simulator:
 ``simulate(topology, result.allocation.as_capacities(), ...)`` — the
@@ -34,6 +43,7 @@ import numpy as np
 
 from repro.arch.topology import Topology
 from repro.core.bus_model import (
+    BUS_TIME,
     SPACE,
     BusClient,
     build_client_chain_ctmdp,
@@ -43,8 +53,9 @@ from repro.core.bus_model import (
     joint_client_marginals,
     joint_state_space_size,
 )
+from repro.core.compiled import CompiledBusLattice, CompiledCTMDP
 from repro.core.kswitching import ClientDemand, allocate_greedy
-from repro.core.lp import BlockLP, LPSolution
+from repro.core.lp import BlockLP, BlockProgram, LPSolution
 from repro.core.splitting import (
     SplitSystem,
     Subsystem,
@@ -115,7 +126,8 @@ class SizingResult:
         The expected-space bound of the final LP (after any adaptive
         relaxation).
     lp_solution:
-        Full LP solution (occupations, policies) of the final solve.
+        Full LP solution (occupations; policies only on the reference
+        path) of the final solve.
     split_system:
         The subsystem decomposition (with converged bridge rates).
     """
@@ -149,6 +161,192 @@ class SizingResult:
         return total
 
 
+class _SizingProgram:
+    """The compiled joint LP of one sizing run.
+
+    Built once per :meth:`BufferSizer.size` call: joint subsystems become
+    refreshable :class:`CompiledBusLattice` blocks, oversized subsystems
+    become per-client chain blocks (tiny CTMDPs, recompiled per refresh),
+    and the shared budget/bus-time rows are vector rows re-read from the
+    blocks on every solve.  The bridge-rate fixed point then only calls
+    :meth:`refresh` + :meth:`solve_adaptive`, warm-starting each LP from
+    the previous optimal basis.
+    """
+
+    def __init__(
+        self, sizer: "BufferSizer", split_system: SplitSystem, cap: int
+    ) -> None:
+        self.sizer = sizer
+        self.cap = cap
+        # Entries: (subsystem, kind, model_clients, block_indices).
+        self.entries: List[Tuple[Subsystem, str, List[BusClient], List[int]]] = []
+        providers: List[object] = []
+        bus_time_rows: List[Tuple[int, List[int]]] = []
+        for sub in split_system.subsystems:
+            if not sub.clients:
+                # A cluster no flow touches needs no buffers and
+                # contributes nothing to the LP.
+                continue
+            model_cap = sizer._model_cap(len(sub.clients), cap)
+            if model_cap is not None:
+                model_clients = [
+                    c.with_capacity(model_cap) for c in sub.clients
+                ]
+                block = len(providers)
+                providers.append(CompiledBusLattice(model_clients))
+                self.entries.append((sub, "joint", model_clients, [block]))
+            else:
+                chain_cap = min(cap, 30)
+                model_clients = [
+                    c.with_capacity(chain_cap) for c in sub.clients
+                ]
+                blocks = []
+                for client in model_clients:
+                    blocks.append(len(providers))
+                    providers.append(self._chain_provider(client))
+                self.entries.append((sub, "chain", model_clients, blocks))
+                bus_time_rows.append((sub.index, blocks))
+        self.program = BlockProgram(providers, [1.0] * len(providers))
+        for sub_index, blocks in bus_time_rows:
+            names: List[Optional[str]] = [None] * len(providers)
+            for b in blocks:
+                names[b] = BUS_TIME
+            self.program.add_vector_row(
+                f"bus_time[{sub_index}]", names, 1.0
+            )
+        self.program.add_vector_row(
+            "budget", [SPACE] * len(providers), 0.0
+        )
+
+    @staticmethod
+    def _chain_provider(client: BusClient) -> CompiledCTMDP:
+        holding = 1e-5 * (client.loss_weight * client.arrival_rate + 1.0)
+        model = build_client_chain_ctmdp(client, holding_cost_rate=holding)
+        return model.compiled()
+
+    # ------------------------------------------------------------------
+
+    def refresh(self, split_system: SplitSystem) -> None:
+        """Pull the current (damped) arrival rates into every block."""
+        sub_by_index = {sub.index: sub for sub in split_system.subsystems}
+        for e, (old_sub, kind, old_clients, blocks) in enumerate(self.entries):
+            sub = sub_by_index[old_sub.index]
+            rates = {c.name: c.arrival_rate for c in sub.clients}
+            if kind == "joint":
+                model_clients = [
+                    old.with_arrival_rate(rates.get(old.name, old.arrival_rate))
+                    for old in old_clients
+                ]
+                lattice = self.program.providers[blocks[0]]
+                if not lattice.refresh(rates):
+                    # The zero/positive rate pattern changed — rebuild.
+                    lattice = CompiledBusLattice(model_clients)
+                    self.program.providers[blocks[0]] = lattice
+                self.entries[e] = (sub, kind, model_clients, blocks)
+            else:
+                model_clients = [
+                    old.with_arrival_rate(rates.get(old.name, old.arrival_rate))
+                    for old in old_clients
+                ]
+                for client, b in zip(model_clients, blocks):
+                    self.program.providers[b] = self._chain_provider(client)
+                self.entries[e] = (sub, kind, model_clients, blocks)
+
+    def solve_adaptive(
+        self, bound: float
+    ) -> Tuple[np.ndarray, Dict[object, float], float, int]:
+        """Solve, geometrically relaxing the space bound if infeasible.
+
+        The expected-space bound can be infeasible when the budget is
+        very tight relative to offered load (occupancy is forced by
+        balance).  The paper's experiments live in exactly that regime at
+        budget 160, so rather than fail we relax the bound and record the
+        value used.
+        """
+        last_error: Optional[InfeasibleError] = None
+        for _attempt in range(6):
+            try:
+                result, achieved = self.program.solve(
+                    bound_overrides={"budget": bound}
+                )
+                return (
+                    np.clip(result.x, 0.0, None),
+                    achieved,
+                    bound,
+                    result.iterations,
+                )
+            except InfeasibleError as exc:
+                last_error = exc
+                bound *= 1.5
+        raise InfeasibleError(
+            "joint LP remained infeasible after relaxing the space bound; "
+            f"last error: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def marginals(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-client queue-length marginals of an occupation measure."""
+        marginals: Dict[str, np.ndarray] = {}
+        offsets = self.program.pair_offsets
+        for _sub, kind, clients, blocks in self.entries:
+            if kind == "joint":
+                lattice = self.program.providers[blocks[0]]
+                xb = x[offsets[blocks[0]]:offsets[blocks[0] + 1]]
+                marginals.update(lattice.client_marginals(xb))
+            else:
+                for client, b in zip(clients, blocks):
+                    comp = self.program.providers[b]
+                    xb = x[offsets[b]:offsets[b + 1]]
+                    p = np.bincount(
+                        comp.pair_state,
+                        weights=xb,
+                        minlength=client.capacity + 1,
+                    )
+                    total = p.sum()
+                    if total <= 0:
+                        raise SolverError(
+                            "occupation measure has no mass for client "
+                            f"{client.name!r}"
+                        )
+                    marginals[client.name] = p / total
+        return marginals
+
+    def lp_solution(
+        self,
+        x: np.ndarray,
+        achieved: Dict[object, float],
+        iterations: int,
+    ) -> LPSolution:
+        """Package the final raw solution as an :class:`LPSolution`.
+
+        Occupation dicts are materialised here once (they are only
+        needed for the result object, not for the fixed point); policy
+        extraction needs CTMDP objects the compiled path never builds,
+        so ``policies`` is empty.
+        """
+        offsets = self.program.pair_offsets
+        occupations = []
+        block_costs = []
+        objective = 0.0
+        for b, provider in enumerate(self.program.providers):
+            xb = x[offsets[b]:offsets[b + 1]]
+            occupations.append(
+                {pair: float(xb[k]) for k, pair in enumerate(provider.pairs)}
+            )
+            cost = float(xb @ provider.cost_rates)
+            block_costs.append(cost)
+            objective += cost
+        return LPSolution(
+            objective=objective,
+            occupations=occupations,
+            policies=[],
+            block_costs=block_costs,
+            constraint_values=achieved,
+            iterations=iterations,
+        )
+
+
 class BufferSizer:
     """Optimal buffer sizing via split subsystems and a joint LP.
 
@@ -172,6 +370,9 @@ class BufferSizer:
         Bridge-rate outer loop controls.
     min_size:
         Minimum slots per client (default 1).
+    use_compiled:
+        Run the compiled/warm-started solver path (default).  ``False``
+        selects the original rebuild-every-iteration reference path.
     """
 
     def __init__(
@@ -184,6 +385,7 @@ class BufferSizer:
         fixed_point_tol: float = 1e-3,
         damping: float = 1.0,
         min_size: int = 1,
+        use_compiled: bool = True,
     ) -> None:
         if total_budget < 1:
             raise SolverError(
@@ -203,6 +405,7 @@ class BufferSizer:
         self.fixed_point_tol = float(fixed_point_tol)
         self.damping = float(damping)
         self.min_size = int(min_size)
+        self.use_compiled = bool(use_compiled)
 
     # ------------------------------------------------------------------
 
@@ -242,14 +445,16 @@ class BufferSizer:
     ) -> Tuple[BlockLP, List[Tuple[Subsystem, str, List[BusClient]]]]:
         """One BlockLP with all subsystems; returns block bookkeeping.
 
-        Each subsystem uses the **exact joint occupancy model** at the
-        deepest per-client capacity its lattice budget affords (the
-        shared-bus contention is what shapes queue tails, so the joint
-        model is strongly preferred; its marginals are geometrically
-        extrapolated past the model cap by :meth:`_extend_marginal`).
-        Subsystems with too many clients for even a depth-2 lattice fall
-        back to decomposed per-client chains with a shared bus-time row
-        and a small holding cost that removes the parking degeneracy.
+        Reference-path equivalent of :class:`_SizingProgram` — rebuilt
+        from scratch on every call.  Each subsystem uses the **exact
+        joint occupancy model** at the deepest per-client capacity its
+        lattice budget affords (the shared-bus contention is what shapes
+        queue tails, so the joint model is strongly preferred; its
+        marginals are geometrically extrapolated past the model cap by
+        :meth:`_extend_marginal`).  Subsystems with too many clients for
+        even a depth-2 lattice fall back to decomposed per-client chains
+        with a shared bus-time row and a small holding cost that removes
+        the parking degeneracy.
 
         Bookkeeping entries are ``(subsystem, kind, model_clients)`` with
         kind ``"joint"`` or ``"chain"``; ``model_clients`` carry the
@@ -326,11 +531,9 @@ class BufferSizer:
     ) -> Tuple[LPSolution, float, List[Tuple[Subsystem, str, List[BusClient]]]]:
         """Solve the joint LP, relaxing the space bound if infeasible.
 
-        The expected-space bound can be infeasible when the budget is very
-        tight relative to offered load (occupancy is forced by balance).
-        The paper's experiments live in exactly that regime at budget 160,
-        so rather than fail we geometrically relax the bound and record
-        the value used.
+        Reference-path counterpart of
+        :meth:`_SizingProgram.solve_adaptive` — rebuilds every CTMDP and
+        the whole LP on each attempt.
         """
         bound = self.space_fraction * self.total_budget
         last_error: Optional[InfeasibleError] = None
@@ -390,15 +593,89 @@ class BufferSizer:
                 f"budget {self.total_budget} cannot give {num_clients} "
                 f"clients {self.min_size} slot(s) each"
             )
+        if self.use_compiled:
+            return self._size_compiled(split_system, cap, num_clients)
+        return self._size_reference(split_system, cap, num_clients)
 
-        # Fair-share size used to estimate blocking during the bridge
-        # fixed point (the final integer sizes are not known yet).
+    def _fixed_point_step(
+        self,
+        split_system: SplitSystem,
+        marginals: Dict[str, np.ndarray],
+        fair_share: int,
+    ) -> Tuple[Dict[str, float], Dict[str, float], float]:
+        """One bridge-rate update: blocking, damped rates, max delta."""
+        blocking: Dict[str, float] = {}
+        for name, marg in marginals.items():
+            k = min(fair_share, marg.size - 1)
+            cdf = float(marg[: k + 1].sum())
+            blocking[name] = float(marg[k]) / cdf if cdf > 0 else 1.0
+        new_rates = bridge_arrival_rates(split_system, blocking)
+        max_delta = 0.0
+        current: Dict[str, float] = {}
+        for sub in split_system.subsystems:
+            for name in sub.bridge_client_names:
+                current[name] = sub.client(name).arrival_rate
+        for name, rate in new_rates.items():
+            max_delta = max(max_delta, abs(rate - current.get(name, 0.0)))
+        damped = {
+            name: self.damping * rate
+            + (1.0 - self.damping) * current.get(name, 0.0)
+            for name, rate in new_rates.items()
+        }
+        return blocking, damped, max_delta
+
+    def _size_compiled(
+        self, split_system: SplitSystem, cap: int, num_clients: int
+    ) -> SizingResult:
+        """Fixed point on the compiled, warm-started program."""
+        program = _SizingProgram(self, split_system, cap)
+        fair_share = max(self.total_budget // num_clients, 1)
+        initial_bound = self.space_fraction * self.total_budget
+        x: Optional[np.ndarray] = None
+        achieved: Dict[object, float] = {}
+        bound_used = initial_bound
+        lp_iterations = 0
+        marginals: Dict[str, np.ndarray] = {}
+        iterations = 0
+        for iterations in range(1, self.max_fixed_point_iterations + 1):
+            x, achieved, bound_used, lp_iterations = program.solve_adaptive(
+                initial_bound
+            )
+            marginals = {
+                name: self._extend_marginal(marg, self.total_budget)
+                for name, marg in program.marginals(x).items()
+            }
+            _blocking, damped, max_delta = self._fixed_point_step(
+                split_system, marginals, fair_share
+            )
+            if max_delta < self.fixed_point_tol:
+                break
+            split_system.subsystems = [
+                sub.with_rates(damped) for sub in split_system.subsystems
+            ]
+            # Refresh only when another solve will happen: lp_solution
+            # below prices x with the providers' current cost vectors,
+            # which must stay the ones x was solved against.
+            if iterations < self.max_fixed_point_iterations:
+                program.refresh(split_system)
+        assert x is not None  # loop runs at least once
+        solution = program.lp_solution(x, achieved, lp_iterations)
+        return self._finalise(
+            split_system,
+            solution,
+            marginals,
+            iterations,
+            bound_used,
+        )
+
+    def _size_reference(
+        self, split_system: SplitSystem, cap: int, num_clients: int
+    ) -> SizingResult:
+        """Original rebuild-every-iteration path (equivalence reference)."""
         fair_share = max(self.total_budget // num_clients, 1)
         solution: Optional[LPSolution] = None
         bound_used = self.space_fraction * self.total_budget
-        bookkeeping: List[Tuple[Subsystem, str, List[BusClient]]] = []
         marginals: Dict[str, np.ndarray] = {}
-        blocking: Dict[str, float] = {}
         iterations = 0
         for iterations in range(1, self.max_fixed_point_iterations + 1):
             solution, bound_used, bookkeeping = (
@@ -410,32 +687,32 @@ class BufferSizer:
                     solution, bookkeeping
                 ).items()
             }
-            blocking = {}
-            for name, marg in marginals.items():
-                k = min(fair_share, marg.size - 1)
-                cdf = float(marg[: k + 1].sum())
-                blocking[name] = float(marg[k]) / cdf if cdf > 0 else 1.0
-            new_rates = bridge_arrival_rates(split_system, blocking)
-            # Compare against the current bridge-client rates.
-            max_delta = 0.0
-            current: Dict[str, float] = {}
-            for sub in split_system.subsystems:
-                for name in sub.bridge_client_names:
-                    current[name] = sub.client(name).arrival_rate
-            for name, rate in new_rates.items():
-                max_delta = max(max_delta, abs(rate - current.get(name, 0.0)))
+            _blocking, damped, max_delta = self._fixed_point_step(
+                split_system, marginals, fair_share
+            )
             if max_delta < self.fixed_point_tol:
                 break
-            damped = {
-                name: self.damping * rate
-                + (1.0 - self.damping) * current.get(name, 0.0)
-                for name, rate in new_rates.items()
-            }
             split_system.subsystems = [
                 sub.with_rates(damped) for sub in split_system.subsystems
             ]
         assert solution is not None  # loop runs at least once
+        return self._finalise(
+            split_system,
+            solution,
+            marginals,
+            iterations,
+            bound_used,
+        )
 
+    def _finalise(
+        self,
+        split_system: SplitSystem,
+        solution: LPSolution,
+        marginals: Dict[str, np.ndarray],
+        iterations: int,
+        bound_used: float,
+    ) -> SizingResult:
+        """Translate the converged LP solution into the integer result."""
         demands = []
         for sub in split_system.subsystems:
             for client in sub.clients:

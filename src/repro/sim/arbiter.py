@@ -21,6 +21,13 @@ from repro.sim.buffer import FiniteBuffer
 class Arbiter(abc.ABC):
     """Interface: pick the next buffer to serve among non-empty ones."""
 
+    #: Whether :meth:`grant` ever consumes the shared generator.  The
+    #: bus only batches its service-duration draws (a pure speedup that
+    #: keeps fixed-seed runs bitwise identical) when this is False;
+    #: randomised arbiters must leave it True so the interleaving of
+    #: their draws with service draws is preserved.
+    uses_rng: bool = True
+
     @abc.abstractmethod
     def grant(
         self,
@@ -38,6 +45,8 @@ class FixedPriorityArbiter(Arbiter):
     priorities are reproducible.
     """
 
+    uses_rng = False
+
     def grant(self, buffers, now, rng):
         for i, buf in enumerate(buffers):
             if not buf.is_empty:
@@ -47,6 +56,8 @@ class FixedPriorityArbiter(Arbiter):
 
 class RoundRobinArbiter(Arbiter):
     """Cycle through clients starting after the last grant."""
+
+    uses_rng = False
 
     def __init__(self) -> None:
         self._last = -1
@@ -63,6 +74,8 @@ class RoundRobinArbiter(Arbiter):
 
 class LongestQueueArbiter(Arbiter):
     """Grant the fullest buffer (ties to the lowest index)."""
+
+    uses_rng = False
 
     def grant(self, buffers, now, rng):
         best = None

@@ -17,6 +17,17 @@ class FiniteBuffer:
     model.
     """
 
+    __slots__ = (
+        "name",
+        "capacity",
+        "_queue",
+        "offered",
+        "lost",
+        "accepted",
+        "_area",
+        "_last_change",
+    )
+
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 0:
             raise SimulationError(

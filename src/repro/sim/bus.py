@@ -17,6 +17,7 @@ from repro.errors import SimulationError
 from repro.sim.arbiter import Arbiter
 from repro.sim.buffer import FiniteBuffer
 from repro.sim.engine import Simulator
+from repro.sim.fastpath import ExponentialPool
 from repro.sim.monitor import Monitor
 from repro.sim.packet import Packet
 
@@ -43,7 +44,28 @@ class ClusterBus:
         the threshold is dropped (counted via
         :meth:`Monitor.record_timeout`) and the arbiter picks again —
         the paper's timeout-based policy.
+
+    Service durations are drawn through a chunked
+    :class:`~repro.sim.fastpath.ExponentialPool` whenever the arbiter
+    never touches the generator (all deterministic arbiters), which
+    consumes the bit stream identically to per-call draws; randomised
+    arbiters share the generator, so they fall back to scalar draws to
+    preserve the interleaving.
     """
+
+    __slots__ = (
+        "name",
+        "buffers",
+        "buffer_by_name",
+        "arbiter",
+        "simulator",
+        "monitor",
+        "rng",
+        "on_serviced",
+        "timeout_threshold",
+        "busy",
+        "_service_pool",
+    )
 
     def __init__(
         self,
@@ -76,6 +98,9 @@ class ClusterBus:
         self.on_serviced = on_serviced
         self.timeout_threshold = timeout_threshold
         self.busy = False
+        self._service_pool = (
+            None if arbiter.uses_rng else ExponentialPool(rng)
+        )
 
     # ------------------------------------------------------------------
 
@@ -126,12 +151,12 @@ class ClusterBus:
                 continue  # pick another request; bus stays free this instant
             self.monitor.record_service_start(packet, self.simulator.now)
             self.busy = True
-            duration = self.rng.exponential(
-                1.0 / packet.current_hop.service_rate
-            )
-            self.simulator.schedule(
-                duration, lambda b=buffer, p=packet: self._complete(b, p)
-            )
+            scale = 1.0 / packet.current_hop.service_rate
+            if self._service_pool is not None:
+                duration = self._service_pool.next() * scale
+            else:
+                duration = self.rng.exponential(scale)
+            self.simulator.schedule(duration, self._complete, buffer, packet)
             return
 
     def _complete(self, buffer: FiniteBuffer, packet: Packet) -> None:

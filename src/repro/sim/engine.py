@@ -1,19 +1,23 @@
 """Event-heap simulation engine.
 
-A minimal, dependency-free discrete-event core: events are ``(time,
-sequence, callback)`` triples on a binary heap; ties in time break by
-insertion order so runs are fully deterministic for a fixed seed.
+A minimal, dependency-free discrete-event core: events are ``[time,
+sequence, callback, args]`` entries on a binary heap; ties in time break
+by insertion order so runs are fully deterministic for a fixed seed.
+
+Hot-path notes: entries are mutable lists so :meth:`Simulator.cancel`
+tombstones in place (no separate cancelled-id set to leak), callbacks
+take positional ``args`` so schedule sites need no closure allocation,
+and a live-entry map keeps :attr:`Simulator.pending_events` exact.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List
 
 from repro.errors import SimulationError
 
-Callback = Callable[[], None]
+Callback = Callable[..., None]
 
 
 class Simulator:
@@ -24,11 +28,15 @@ class Simulator:
     clock, executing events in order.
     """
 
+    __slots__ = ("_now", "_queue", "_next_id", "_live")
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Callback]] = []
-        self._sequence = itertools.count()
-        self._cancelled: set = set()
+        # Heap entries: [when, event_id, callback, args].  The unique
+        # event id breaks ties, so comparisons never reach the callback.
+        self._queue: List[list] = []
+        self._next_id = 0
+        self._live: Dict[int, list] = {}
 
     @property
     def now(self) -> float:
@@ -37,31 +45,44 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of outstanding (scheduled, not executed, not
+        cancelled) events — exact, excluding tombstoned entries."""
+        return len(self._live)
 
-    def schedule(self, delay: float, callback: Callback) -> int:
-        """Schedule ``callback`` to run ``delay`` time units from now.
+    def schedule(self, delay: float, callback: Callback, *args) -> int:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from
+        now.
 
         Returns an event id usable with :meth:`cancel`.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, *args)
 
-    def schedule_at(self, when: float, callback: Callback) -> int:
-        """Schedule ``callback`` at absolute time ``when``."""
+    def schedule_at(self, when: float, callback: Callback, *args) -> int:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < now {self._now}"
             )
-        event_id = next(self._sequence)
-        heapq.heappush(self._queue, (when, event_id, callback))
+        event_id = self._next_id
+        self._next_id = event_id + 1
+        entry = [when, event_id, callback, args]
+        self._live[event_id] = entry
+        heapq.heappush(self._queue, entry)
         return event_id
 
     def cancel(self, event_id: int) -> None:
-        """Cancel a scheduled event (lazy removal)."""
-        self._cancelled.add(event_id)
+        """Cancel an outstanding event.
+
+        Tombstones the heap entry in place; cancelling an id that
+        already executed, was already cancelled, or was never scheduled
+        is a harmless no-op (nothing is retained for it).
+        """
+        entry = self._live.pop(event_id, None)
+        if entry is not None:
+            entry[2] = None
+            entry[3] = ()
 
     def run_until(self, end_time: float) -> None:
         """Execute events in order until the clock reaches ``end_time``.
@@ -73,23 +94,27 @@ class Simulator:
             raise SimulationError(
                 f"end time {end_time} is before now {self._now}"
             )
-        while self._queue and self._queue[0][0] <= end_time:
-            when, event_id, callback = heapq.heappop(self._queue)
-            if event_id in self._cancelled:
-                self._cancelled.discard(event_id)
-                continue
+        queue = self._queue
+        live = self._live
+        pop = heapq.heappop
+        while queue and queue[0][0] <= end_time:
+            when, event_id, callback, args = pop(queue)
+            if callback is None:
+                continue  # tombstoned by cancel()
+            del live[event_id]
             self._now = when
-            callback()
+            callback(*args)
         self._now = end_time
 
     def step(self) -> bool:
         """Execute exactly one event; returns False when queue is empty."""
-        while self._queue:
-            when, event_id, callback = heapq.heappop(self._queue)
-            if event_id in self._cancelled:
-                self._cancelled.discard(event_id)
+        queue = self._queue
+        while queue:
+            when, event_id, callback, args = heapq.heappop(queue)
+            if callback is None:
                 continue
+            del self._live[event_id]
             self._now = when
-            callback()
+            callback(*args)
             return True
         return False

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hop:
     """One leg of a packet's journey.
 
@@ -26,7 +26,7 @@ class Hop:
     service_rate: float
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A single request travelling through the communication sub-system."""
 

@@ -16,9 +16,22 @@ class FlowSource:
     """Generates the packets of one flow.
 
     Draws interarrival times from the flow's traffic descriptor using its
-    own RNG substream, stamps each packet with the flow's hop itinerary,
-    and hands it to ``deliver`` (the system's injection point).
+    own RNG substream — refilled in chunks of ``batch`` so the per-event
+    cost is one array index, not a generator call — stamps each packet
+    with the flow's hop itinerary, and hands it to ``deliver`` (the
+    system's injection point).
     """
+
+    __slots__ = (
+        "flow",
+        "hops",
+        "simulator",
+        "rng",
+        "deliver",
+        "batch",
+        "_gaps",
+        "_gap_index",
+    )
 
     _ids = itertools.count(1)
 
