@@ -9,10 +9,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Perf smoke for every PR: the two throughput benches plus the
-# compiled-kernel micro-benches, 3 rounds minimum each.
+# Perf smoke for every PR: the throughput benches plus the
+# compiled-kernel and execution-runtime benches, 3 rounds minimum each.
+# Extra pytest/benchmark flags pass through BENCH_ARGS (CI uses
+# --benchmark-min-rounds=1 for a faster smoke).
 bench-quick:
-	$(PYTHON) -m benchmarks.quick
+	$(PYTHON) -m benchmarks.quick $(BENCH_ARGS)
 
 # The full benchmark suite (regenerates the paper artefacts; slow).
 bench:

@@ -1,0 +1,99 @@
+"""Benchmarks for the execution runtime (repro.exec).
+
+Two comparisons, each asserting its equivalence contract while timing:
+
+* **serial vs pooled replications** — the same replication batch through
+  ``jobs=1`` and ``jobs=2`` (identical summaries; speedup scales with
+  core count, so on single-core CI the pooled run mostly measures
+  process overhead);
+* **cold vs warm budget sweep** — per-budget cold solves against the
+  warm-started chain (identical allocations; the chain saves most outer
+  fixed-point iterations, reported via ``extra_info``).
+"""
+
+import pytest
+
+from repro.arch.netproc import network_processor
+from repro.arch.templates import paper_figure1
+from repro.exec.sweeps import sweep_budgets
+from repro.sim.runner import replicate
+
+REPLICATIONS = 6
+DURATION = 400.0
+SWEEP_BUDGETS = (14, 16, 18, 20, 22, 24)
+
+
+@pytest.fixture(scope="module")
+def netproc():
+    return network_processor(seed=2005)
+
+
+@pytest.fixture(scope="module")
+def netproc_caps(netproc):
+    return {name: 4 for name in netproc.processors}
+
+
+def test_replicate_serial(benchmark, netproc, netproc_caps):
+    """Reference: the in-process replication loop."""
+    summary = benchmark(
+        lambda: replicate(
+            netproc, netproc_caps,
+            replications=REPLICATIONS, duration=DURATION, jobs=1,
+        )
+    )
+    assert summary.num_replications == REPLICATIONS
+
+
+def test_replicate_pooled(benchmark, netproc, netproc_caps):
+    """The same batch fanned over two worker processes."""
+    serial = replicate(
+        netproc, netproc_caps,
+        replications=REPLICATIONS, duration=DURATION, jobs=1,
+    )
+    pooled = benchmark(
+        lambda: replicate(
+            netproc, netproc_caps,
+            replications=REPLICATIONS, duration=DURATION, jobs=2,
+        )
+    )
+    # The determinism contract the speedup must never cost.
+    assert pooled.results == serial.results
+
+
+def test_sweep_cold(benchmark, capsys):
+    """Reference: every budget solved from the offered rates."""
+    topology = paper_figure1()
+    outcome = benchmark(
+        lambda: sweep_budgets(topology, SWEEP_BUDGETS, warm_start=False)
+    )
+    benchmark.extra_info["fixed_point_iterations"] = (
+        outcome.total_fixed_point_iterations
+    )
+    with capsys.disabled():
+        print(
+            f"\n[cold sweep] {len(SWEEP_BUDGETS)} budgets, "
+            f"{outcome.total_fixed_point_iterations} fixed-point iterations"
+        )
+
+
+def test_sweep_warm(benchmark, capsys):
+    """The warm-started chain: same allocations, fewer iterations."""
+    topology = paper_figure1()
+    cold = sweep_budgets(topology, SWEEP_BUDGETS, warm_start=False)
+    outcome = benchmark(
+        lambda: sweep_budgets(topology, SWEEP_BUDGETS, warm_start=True)
+    )
+    benchmark.extra_info["fixed_point_iterations"] = (
+        outcome.total_fixed_point_iterations
+    )
+    assert outcome.allocations() == cold.allocations()
+    assert (
+        outcome.total_fixed_point_iterations
+        < cold.total_fixed_point_iterations
+    )
+    with capsys.disabled():
+        print(
+            f"\n[warm sweep] {len(SWEEP_BUDGETS)} budgets, "
+            f"{outcome.total_fixed_point_iterations} fixed-point iterations "
+            f"(cold: {cold.total_fixed_point_iterations})"
+        )

@@ -1,9 +1,11 @@
 """Quick perf smoke target: ``python -m benchmarks.quick``.
 
-Runs the simulator/sizing throughput benchmarks plus the compiled-kernel
-micro-benches with ``--benchmark-min-rounds=3`` — a couple of minutes,
-meant to run on every PR so perf regressions in the hot paths are
-visible immediately.  ``make bench-quick`` wraps this module.
+Runs the simulator/sizing throughput benchmarks, the compiled-kernel
+micro-benches, and the execution-runtime benches (serial vs pooled
+replications, cold vs warm sweeps) with ``--benchmark-min-rounds=3`` —
+a couple of minutes, meant to run on every PR so perf regressions in
+the hot paths are visible immediately.  ``make bench-quick`` wraps this
+module.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ def main() -> int:
     args = [
         str(bench_dir / "bench_sim_throughput.py"),
         str(bench_dir / "bench_compiled_kernels.py"),
+        str(bench_dir / "bench_exec_runtime.py"),
         "--benchmark-min-rounds=3",
         "-q",
     ]

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 from repro.arch.topology import Topology
 from repro.core.sizing import BufferAllocation
 from repro.errors import ReproError
+from repro.exec import ExecutionContext
 from repro.sim.runner import ReplicationSummary, replicate
 
 
@@ -65,6 +66,7 @@ def compare_policies(
     timeout_thresholds: Optional[Dict[str, float]] = None,
     arbiter_kind: str = "longest_queue",
     processors: Optional[List[str]] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> PolicyComparison:
     """Simulate every allocation under identical seeds and horizons.
 
@@ -77,15 +79,20 @@ def compare_policies(
         map run without timeouts).
     processors:
         Report order; defaults to sorted processor names.
+    context:
+        Execution runtime (parallel replications, result cache); the
+        default is the serial, uncached reference behaviour.
     """
     if not allocations:
         raise ReproError("no allocations to compare")
     if processors is None:
         processors = sorted(topology.processors)
+    if context is None:
+        context = ExecutionContext()
     summaries: Dict[str, ReplicationSummary] = {}
     for name, allocation in allocations.items():
         threshold = (timeout_thresholds or {}).get(name)
-        summaries[name] = replicate(
+        summaries[name] = context.replicate(
             topology,
             allocation.as_capacities(),
             replications=replications,

@@ -1,14 +1,23 @@
-"""Parameter sweeps: budget (Table 1) and load (ablation)."""
+"""Parameter sweeps: budget (Table 1) and load (ablation).
+
+Both sweeps accept an :class:`~repro.exec.ExecutionContext`, which fans
+the replication batches of every point over a process pool and memoises
+them in the result cache.  CTMDP-policy *sizing* warm starts across a
+budget axis live one level up, in :func:`repro.exec.sweeps.sweep_budgets`
+(these helpers size through arbitrary policy objects, which have no
+warm-start state to chain).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.loss import PolicyComparison, compare_policies
 from repro.arch.topology import Topology
 from repro.core.sizing import BufferAllocation
 from repro.errors import ReproError
+from repro.exec import ExecutionContext
 
 
 @dataclass
@@ -26,6 +35,7 @@ def budget_sweep(
     replications: int = 10,
     duration: float = 3_000.0,
     base_seed: int = 0,
+    context: Optional[ExecutionContext] = None,
 ) -> List[SweepPoint]:
     """Re-size and re-simulate at several total budgets (Table 1's axis).
 
@@ -47,6 +57,7 @@ def budget_sweep(
             replications=replications,
             duration=duration,
             base_seed=base_seed,
+            context=context,
         )
         points.append(SweepPoint(parameter=float(budget), comparison=comparison))
     return points
@@ -60,6 +71,7 @@ def load_sweep(
     replications: int = 5,
     duration: float = 2_000.0,
     base_seed: int = 0,
+    context: Optional[ExecutionContext] = None,
 ) -> List[SweepPoint]:
     """Sweep offered load at a fixed budget (policy-robustness ablation)."""
     if not load_scales:
@@ -77,6 +89,7 @@ def load_sweep(
             replications=replications,
             duration=duration,
             base_seed=base_seed,
+            context=context,
         )
         points.append(SweepPoint(parameter=float(scale), comparison=comparison))
     return points

@@ -8,8 +8,12 @@ script entry point)::
     python -m repro.cli inspect ARCH.soc
     python -m repro.cli figure3 --budget 160 --duration 1000 --reps 3
     python -m repro.cli table1 --duration 800 --reps 3
+    python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
 
 ``ARCH.soc`` files use the textual DSL of :mod:`repro.arch.dsl`.
+The runtime flags ``--jobs`` / ``--cache-dir`` / ``--no-warm-start``
+control the :mod:`repro.exec` execution runtime; none of them changes
+any reported number (see ``docs/execution.md``).
 """
 
 from __future__ import annotations
@@ -23,11 +27,11 @@ from repro.arch.dsl import parse_topology
 from repro.arch.validate import cluster_loads
 from repro.core.sizing import BufferSizer
 from repro.errors import ReproError
+from repro.exec import ExecutionContext
 from repro.policies.analytic import AnalyticGreedySizing
 from repro.policies.ctmdp_policy import CTMDPSizing
 from repro.policies.proportional import ProportionalSizing
 from repro.policies.uniform import UniformSizing
-from repro.sim.runner import replicate
 
 _POLICIES = {
     "uniform": UniformSizing,
@@ -40,6 +44,42 @@ _POLICIES = {
 def _load_topology(path: str):
     text = Path(path).read_text()
     return parse_topology(text)
+
+
+def _context_from_args(args: argparse.Namespace) -> ExecutionContext:
+    """Build the execution runtime from the shared runtime flags."""
+    return ExecutionContext.create(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        warm_start=not getattr(args, "no_warm_start", False),
+    )
+
+
+def _add_runtime_flags(
+    parser: argparse.ArgumentParser, warm_start: bool = False
+) -> None:
+    """Attach the execution-runtime flags to one subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for replication batches (1 = serial, "
+        "0 = all cores); sweep sizings additionally fan out when solved "
+        "cold (--no-warm-start); results are identical for any value",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory "
+        "(repeat runs and overlapping sweeps skip recomputation)",
+    )
+    if warm_start:
+        parser.add_argument(
+            "--no-warm-start",
+            action="store_true",
+            help="solve every sweep budget cold instead of chaining "
+            "bridge-rate/LP warm starts (results are identical)",
+        )
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -80,12 +120,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     topology = _load_topology(args.architecture)
     policy = _POLICIES[args.policy]()
     allocation = policy.allocate(topology, args.budget)
-    summary = replicate(
+    context = _context_from_args(args)
+    summary = context.replicate(
         topology,
         allocation.as_capacities(),
         replications=args.reps,
         duration=args.duration,
         base_seed=args.seed,
+        seed_scheme=args.seed_scheme,
     )
     print(f"policy {args.policy}, budget {args.budget}:")
     print(f"  mean total loss {summary.mean_total_loss():.1f} "
@@ -102,6 +144,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
         budget=args.budget,
         duration=args.duration,
         replications=args.reps,
+        context=_context_from_args(args),
     )
     print(result.render())
     return 0
@@ -113,6 +156,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     result = run_table1(
         duration=args.duration,
         replications=args.reps,
+        context=_context_from_args(args),
     )
     print(result.render())
     return 0
@@ -151,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--duration", type=float, default=5_000.0)
     p_sim.add_argument("--reps", type=int, default=5)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--seed-scheme",
+        choices=("legacy", "spawn"),
+        default="legacy",
+        help="per-replication seed derivation (spawn = collision-free "
+        "SeedSequence children; legacy = base_seed + 1000*r)",
+    )
+    _add_runtime_flags(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_fig3 = sub.add_parser(
@@ -159,11 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig3.add_argument("--budget", type=int, default=160)
     p_fig3.add_argument("--duration", type=float, default=1_500.0)
     p_fig3.add_argument("--reps", type=int, default=5)
+    _add_runtime_flags(p_fig3)
     p_fig3.set_defaults(func=_cmd_figure3)
 
     p_tab1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p_tab1.add_argument("--duration", type=float, default=1_000.0)
     p_tab1.add_argument("--reps", type=int, default=3)
+    _add_runtime_flags(p_tab1, warm_start=True)
     p_tab1.set_defaults(func=_cmd_table1)
 
     return parser

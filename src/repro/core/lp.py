@@ -167,6 +167,33 @@ class BlockProgram:
 
     # ------------------------------------------------------------------
 
+    @property
+    def structure_signature(self) -> Tuple[int, int, int]:
+        """Shape fingerprint deciding whether a foreign basis can seed us.
+
+        Two programs with equal signatures have identical variable and
+        row counts, so a basis from one is dimensionally valid for the
+        other (warm starts across a budget sweep with fixed capacities).
+        """
+        return (
+            self.num_vars,
+            self.num_balance + len(self.providers),
+            len(self._vector_rows) + len(self._dict_rows),
+        )
+
+    @property
+    def last_basis(self) -> Optional[object]:
+        """The optimal basis of the most recent solve (None before any)."""
+        return self._basis
+
+    def seed_basis(self, basis: object) -> None:
+        """Install a warm-start basis for the next :meth:`solve`.
+
+        Callers must check :attr:`structure_signature` compatibility; a
+        dimensionally mismatched basis is backend-undefined behaviour.
+        """
+        self._basis = basis
+
     def add_vector_row(
         self, key: object, names: List[Optional[str]], bound: float
     ) -> None:

@@ -106,6 +106,26 @@ class BufferAllocation:
 
 
 @dataclass
+class WarmStartState:
+    """Carry-over state between consecutive sizing runs.
+
+    Produced by :meth:`BufferSizer.size_warm` and fed back into the next
+    call of a budget sweep: ``bridge_rates`` are the converged carried
+    rates of the bridge fixed point (a far better starting iterate for a
+    nearby budget than the offered rates), and ``basis`` is the final
+    optimal LP basis (reused only when the next program's
+    ``structure_signature`` matches, i.e. fixed capacities across the
+    sweep).  The state holds live backend objects and is deliberately
+    **not** picklable/cacheable — it exists only to chain in-process
+    solves.
+    """
+
+    bridge_rates: Dict[str, float] = field(default_factory=dict)
+    basis: Optional[object] = None
+    structure: Optional[Tuple[int, int, int]] = None
+
+
+@dataclass
 class SizingResult:
     """Everything the sizing pipeline produced.
 
@@ -122,6 +142,12 @@ class SizingResult:
         Per-client full-buffer probabilities at the model capacity cap.
     fixed_point_iterations:
         Outer bridge-rate iterations performed.
+    converged:
+        Whether the bridge fixed point met ``fixed_point_tol`` (False
+        when the loop exhausted ``max_fixed_point_iterations``).  A
+        non-converged result depends on the starting iterate, so the
+        runtime's warm-vs-cold equivalence only holds when this is True
+        (the cache refuses to store non-converged results).
     space_bound_used:
         The expected-space bound of the final LP (after any adaptive
         relaxation).
@@ -140,6 +166,7 @@ class SizingResult:
     space_bound_used: float
     lp_solution: LPSolution
     split_system: SplitSystem
+    converged: bool = True
 
     def predicted_total_loss_rate(self) -> float:
         """End-to-end predicted loss rate from the flow-thinning view.
@@ -576,14 +603,40 @@ class BufferSizer:
 
     # ------------------------------------------------------------------
 
-    def size(self, topology: Topology) -> SizingResult:
+    def size(
+        self,
+        topology: Topology,
+        warm_start: Optional[WarmStartState] = None,
+    ) -> SizingResult:
         """Run the full pipeline on a topology.
+
+        ``warm_start`` optionally seeds the bridge fixed point (and the
+        LP basis, when structurally compatible) from a previous run —
+        see :meth:`size_warm`, which also returns the carry-over state.
 
         Raises
         ------
         InfeasibleError
             If the budget cannot give every client its minimum size, or
             the LP stays infeasible after adaptive relaxation.
+        """
+        result, _state = self.size_warm(topology, warm_start)
+        return result
+
+    def size_warm(
+        self,
+        topology: Topology,
+        warm_start: Optional[WarmStartState] = None,
+    ) -> Tuple[SizingResult, WarmStartState]:
+        """:meth:`size` plus the state that warm-starts the next run.
+
+        The returned :class:`WarmStartState` carries the converged
+        bridge rates and (on the compiled path) the final optimal LP
+        basis.  Feeding it into the next ``size_warm`` call of a budget
+        sweep starts that run's fixed point at the previous converged
+        iterate, which typically saves most outer iterations; the final
+        :class:`SizingResult` is the same fixed point either way (the
+        outer loop iterates to the same tolerance from any start).
         """
         cap = self._derive_cap(topology)
         split_system = split(topology, cap)
@@ -593,9 +646,33 @@ class BufferSizer:
                 f"budget {self.total_budget} cannot give {num_clients} "
                 f"clients {self.min_size} slot(s) each"
             )
+        if warm_start is not None and warm_start.bridge_rates:
+            known = set()
+            for sub in split_system.subsystems:
+                known.update(sub.bridge_client_names)
+            rates = {
+                name: rate
+                for name, rate in warm_start.bridge_rates.items()
+                if name in known
+            }
+            if rates:
+                split_system.subsystems = [
+                    sub.with_rates(rates) for sub in split_system.subsystems
+                ]
         if self.use_compiled:
-            return self._size_compiled(split_system, cap, num_clients)
+            return self._size_compiled(
+                split_system, cap, num_clients, warm_start
+            )
         return self._size_reference(split_system, cap, num_clients)
+
+    @staticmethod
+    def _bridge_rates_of(split_system: SplitSystem) -> Dict[str, float]:
+        """Current bridge-entry arrival rates (the fixed-point iterate)."""
+        rates: Dict[str, float] = {}
+        for sub in split_system.subsystems:
+            for name in sub.bridge_client_names:
+                rates[name] = sub.client(name).arrival_rate
+        return rates
 
     def _fixed_point_step(
         self,
@@ -625,10 +702,20 @@ class BufferSizer:
         return blocking, damped, max_delta
 
     def _size_compiled(
-        self, split_system: SplitSystem, cap: int, num_clients: int
-    ) -> SizingResult:
+        self,
+        split_system: SplitSystem,
+        cap: int,
+        num_clients: int,
+        warm_start: Optional[WarmStartState] = None,
+    ) -> Tuple[SizingResult, WarmStartState]:
         """Fixed point on the compiled, warm-started program."""
         program = _SizingProgram(self, split_system, cap)
+        if (
+            warm_start is not None
+            and warm_start.basis is not None
+            and warm_start.structure == program.program.structure_signature
+        ):
+            program.program.seed_basis(warm_start.basis)
         fair_share = max(self.total_budget // num_clients, 1)
         initial_bound = self.space_fraction * self.total_budget
         x: Optional[np.ndarray] = None
@@ -637,6 +724,7 @@ class BufferSizer:
         lp_iterations = 0
         marginals: Dict[str, np.ndarray] = {}
         iterations = 0
+        converged = False
         for iterations in range(1, self.max_fixed_point_iterations + 1):
             x, achieved, bound_used, lp_iterations = program.solve_adaptive(
                 initial_bound
@@ -649,6 +737,7 @@ class BufferSizer:
                 split_system, marginals, fair_share
             )
             if max_delta < self.fixed_point_tol:
+                converged = True
                 break
             split_system.subsystems = [
                 sub.with_rates(damped) for sub in split_system.subsystems
@@ -660,23 +749,33 @@ class BufferSizer:
                 program.refresh(split_system)
         assert x is not None  # loop runs at least once
         solution = program.lp_solution(x, achieved, lp_iterations)
-        return self._finalise(
-            split_system,
-            solution,
-            marginals,
-            iterations,
-            bound_used,
+        state = WarmStartState(
+            bridge_rates=self._bridge_rates_of(split_system),
+            basis=program.program.last_basis,
+            structure=program.program.structure_signature,
+        )
+        return (
+            self._finalise(
+                split_system,
+                solution,
+                marginals,
+                iterations,
+                bound_used,
+                converged,
+            ),
+            state,
         )
 
     def _size_reference(
         self, split_system: SplitSystem, cap: int, num_clients: int
-    ) -> SizingResult:
+    ) -> Tuple[SizingResult, WarmStartState]:
         """Original rebuild-every-iteration path (equivalence reference)."""
         fair_share = max(self.total_budget // num_clients, 1)
         solution: Optional[LPSolution] = None
         bound_used = self.space_fraction * self.total_budget
         marginals: Dict[str, np.ndarray] = {}
         iterations = 0
+        converged = False
         for iterations in range(1, self.max_fixed_point_iterations + 1):
             solution, bound_used, bookkeeping = (
                 self._solve_with_adaptive_bound(split_system, cap)
@@ -691,17 +790,25 @@ class BufferSizer:
                 split_system, marginals, fair_share
             )
             if max_delta < self.fixed_point_tol:
+                converged = True
                 break
             split_system.subsystems = [
                 sub.with_rates(damped) for sub in split_system.subsystems
             ]
         assert solution is not None  # loop runs at least once
-        return self._finalise(
-            split_system,
-            solution,
-            marginals,
-            iterations,
-            bound_used,
+        state = WarmStartState(
+            bridge_rates=self._bridge_rates_of(split_system)
+        )
+        return (
+            self._finalise(
+                split_system,
+                solution,
+                marginals,
+                iterations,
+                bound_used,
+                converged,
+            ),
+            state,
         )
 
     def _finalise(
@@ -711,6 +818,7 @@ class BufferSizer:
         marginals: Dict[str, np.ndarray],
         iterations: int,
         bound_used: float,
+        converged: bool,
     ) -> SizingResult:
         """Translate the converged LP solution into the integer result."""
         demands = []
@@ -746,4 +854,5 @@ class BufferSizer:
             space_bound_used=bound_used,
             lp_solution=solution,
             split_system=split_system,
+            converged=converged,
         )

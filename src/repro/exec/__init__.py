@@ -1,0 +1,190 @@
+"""``repro.exec`` — the experiment-execution runtime.
+
+Every experiment driver (figure3, table1, the extensions and ablations)
+is built from two expensive primitives: replication batches of
+:func:`repro.sim.runner.simulate` and budget sweeps of
+:class:`repro.core.sizing.BufferSizer`.  This package is the layer that
+schedules, caches and merges those primitives without changing a single
+number they produce:
+
+* :mod:`repro.exec.pool` — deterministic process-pool fan-out with an
+  ordered merge (``jobs=N`` is bitwise-identical to ``jobs=1``);
+* :mod:`repro.exec.sweeps` — budget-sweep chaining with bridge-rate and
+  LP-basis warm starts (equivalent to cold solves, far fewer fixed-point
+  iterations);
+* :mod:`repro.exec.cache` — a disk-backed content-addressed result
+  store keyed by topology + configuration + code version.
+
+:class:`ExecutionContext` bundles the three knobs (``jobs``, ``cache``,
+``warm_start``) into the single object the drivers and the CLI pass
+around.  The default context is serial, uncached and warm — exactly the
+pre-runtime behaviour.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from repro.exec.cache import ResultCache, topology_fingerprint
+from repro.exec.pool import parallel_map, resolve_jobs
+
+__all__ = [
+    "ExecutionContext",
+    "ResultCache",
+    "BudgetSweepOutcome",
+    "SweepPointOutcome",
+    "parallel_map",
+    "resolve_jobs",
+    "sweep_budgets",
+    "topology_fingerprint",
+]
+
+#: Names re-exported from :mod:`repro.exec.sweeps`.  Resolved lazily
+#: (PEP 562): sweeps imports the sizing pipeline, which transitively
+#: imports the simulator, whose runner imports :mod:`repro.exec.pool` —
+#: an import cycle if sweeps loaded eagerly here.
+_SWEEP_EXPORTS = (
+    "BudgetSweepOutcome",
+    "SweepPointOutcome",
+    "sizing_payload",
+    "sweep_budgets",
+)
+
+
+def __getattr__(name: str):
+    if name in _SWEEP_EXPORTS:
+        from repro.exec import sweeps
+
+        return getattr(sweeps, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+@lru_cache(maxsize=1)
+def _replicate_defaults() -> Dict[str, Any]:
+    """Default values of every replication-batch kwarg.
+
+    Read off the live signatures of ``simulate`` and ``replicate`` so
+    cache keys stay in sync with the code: a batch requested with
+    explicit defaults (``seed_scheme="legacy"``) and one relying on the
+    omitted defaults must hash identically, or callers that spell their
+    calls differently (CLI vs ``compare_policies``) silently never
+    share cache entries.  ``seed`` is simulate's per-run seed (derived
+    by replicate, not a batch kwarg) and ``jobs`` cannot change the
+    result; both are excluded.
+    """
+    from repro.sim import runner
+
+    merged: Dict[str, Any] = {}
+    for fn in (runner.simulate, runner.replicate):
+        for name, param in inspect.signature(fn).parameters.items():
+            if param.default is not inspect.Parameter.empty:
+                merged[name] = param.default
+    for excluded in ("seed", "jobs"):
+        merged.pop(excluded, None)
+    return merged
+
+
+@dataclass
+class ExecutionContext:
+    """How to execute an experiment: parallelism, caching, warm starts.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes for replication batches and cold sweep points
+        (``1`` = serial reference path, ``0``/``None`` = all cores).
+    cache:
+        Optional :class:`ResultCache`; sizing results and replication
+        summaries are memoised under content-addressed keys.
+    warm_start:
+        Chain budget sweeps through converged bridge rates / LP bases
+        (the ``--no-warm-start`` escape hatch clears this).
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    warm_start: bool = True
+
+    @classmethod
+    def create(
+        cls,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+        warm_start: bool = True,
+    ) -> "ExecutionContext":
+        """Build a context from plain CLI-style values."""
+        return cls(
+            jobs=resolve_jobs(jobs),
+            cache=ResultCache(cache_dir) if cache_dir else None,
+            warm_start=bool(warm_start),
+        )
+
+    # ------------------------------------------------------------------
+
+    def size(
+        self,
+        topology,
+        budget: int,
+        sizer_kwargs: Optional[dict] = None,
+    ):
+        """One cached CTMDP sizing run (`SizingResult`)."""
+        from repro.core.sizing import BufferSizer
+        from repro.exec.sweeps import sizing_payload, sizing_result_cacheable
+
+        def compute():
+            return BufferSizer(
+                total_budget=budget, **(sizer_kwargs or {})
+            ).size(topology)
+
+        if self.cache is None:
+            return compute()
+        return self.cache.fetch(
+            "sizing",
+            sizing_payload(topology, budget, sizer_kwargs),
+            compute,
+            should_store=sizing_result_cacheable,
+        )
+
+    def sweep(self, topology, budgets, sizer_kwargs=None):
+        """A budget sweep under this context's warm/cache/jobs policy
+        (`BudgetSweepOutcome`)."""
+        from repro.exec.sweeps import sweep_budgets
+
+        return sweep_budgets(
+            topology,
+            budgets,
+            sizer_kwargs=sizer_kwargs,
+            warm_start=self.warm_start,
+            cache=self.cache,
+            jobs=self.jobs,
+        )
+
+    def replicate(self, topology, capacities: Dict[str, int], **kwargs):
+        """A cached, pooled replication batch (`ReplicationSummary`).
+
+        Accepts exactly the keyword arguments of
+        :func:`repro.sim.runner.replicate`; ``jobs`` is injected from
+        the context.  The cache key covers everything that determines
+        the statistics — never ``jobs``, which by the pool's determinism
+        contract cannot change them.
+        """
+        from repro.sim.runner import replicate
+
+        def compute():
+            return replicate(topology, capacities, jobs=self.jobs, **kwargs)
+
+        if self.cache is None:
+            return compute()
+        # Normalise against the functions' defaults so the key is
+        # caller-independent: explicitly passing a default value and
+        # omitting it must address the same entry.
+        batch_kwargs = {**_replicate_defaults(), **kwargs}
+        payload: Dict[str, Any] = {
+            "topology": topology_fingerprint(topology),
+            "capacities": {k: int(v) for k, v in capacities.items()},
+            "kwargs": {k: batch_kwargs[k] for k in sorted(batch_kwargs)},
+        }
+        return self.cache.fetch("replicate", payload, compute)

@@ -1,0 +1,235 @@
+"""Disk-backed, content-addressed store for experiment results.
+
+Every cacheable computation is described by a *payload*: a plain
+tree of dicts/lists/scalars that fully determines the result — the
+topology fingerprint, the capacities or budget, the simulation or solver
+configuration.  The cache key is a SHA-256 over the canonical JSON of
+that payload wrapped in an envelope carrying the computation *kind*, the
+cache schema version and the package code version, so
+
+* the same experiment re-run (or an overlapping sweep) hits;
+* any config change — a different seed scheme, arbiter, budget, solver
+  knob — misses;
+* upgrading the package (or the cache schema) invalidates everything,
+  because results may legitimately change across code versions.
+
+Values are stored as individual pickle files under two-level fan-out
+directories (``<root>/<kk>/<key>.pkl``), written atomically via a
+rename so a crashed writer never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import _version
+from repro.errors import ReproError
+
+#: Bump to invalidate every existing cache entry (layout/semantic changes).
+CACHE_SCHEMA = 1
+
+_MISSING = object()
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce an object tree to canonical JSON-compatible primitives.
+
+    Dicts are rekeyed to strings (so JSON key sorting is total),
+    tuples/sets become lists (sets sorted), dataclasses become
+    ``{"__type__": name, **fields}``, and numpy scalars collapse to
+    Python scalars via ``item()``.  Anything else must already be a JSON
+    scalar.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(v) for v in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__type__": type(obj).__name__, **fields}
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        return obj.item()
+    raise ReproError(
+        f"cannot canonicalise {type(obj).__name__!r} for cache hashing"
+    )
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``payload``.
+
+    ``json.dumps`` with sorted keys over the canonical tree is a stable
+    serialisation: float repr is the shortest round-trip form, so equal
+    bit patterns always hash equally.
+    """
+    text = json.dumps(
+        canonicalize(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def topology_fingerprint(topology) -> Dict[str, Any]:
+    """Canonical content description of a topology.
+
+    Covers everything the solvers and the simulator read: buses, links,
+    bridges, processors (service rates, loss weights), and flows with
+    their full traffic descriptors.
+    """
+    return {
+        "name": topology.name,
+        "buses": sorted(topology.buses),
+        "links": sorted(
+            [sorted((link.bus_a, link.bus_b)) for link in topology.links]
+        ),
+        "bridges": {
+            name: {
+                "bus_a": bridge.bus_a,
+                "bus_b": bridge.bus_b,
+                "service_rate": bridge.service_rate,
+                "loss_weight": bridge.loss_weight,
+            }
+            for name, bridge in topology.bridges.items()
+        },
+        "processors": {
+            name: {
+                "bus": proc.bus,
+                "service_rate": proc.service_rate,
+                "loss_weight": proc.loss_weight,
+            }
+            for name, proc in topology.processors.items()
+        },
+        "flows": {
+            name: {
+                "source": flow.source,
+                "destination": flow.destination,
+                "traffic": canonicalize(flow.traffic),
+            }
+            for name, flow in topology.flows.items()
+        },
+    }
+
+
+class ResultCache:
+    """A content-addressed pickle store rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first use).
+
+    Attributes
+    ----------
+    hits / misses:
+        Counters over this process's :meth:`fetch` calls, used by the
+        tests and the benchmark to assert cache behaviour.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def key(self, kind: str, payload: Dict[str, Any]) -> str:
+        """The content address of one computation.
+
+        The envelope pins the computation kind, the cache schema and the
+        code version alongside the payload, so keys from different
+        kinds/versions can never collide.
+        """
+        return stable_hash(
+            {
+                "kind": kind,
+                "schema": CACHE_SCHEMA,
+                "code_version": _version.__version__,
+                "payload": payload,
+            }
+        )
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one entry."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for one key; unreadable entries count as miss.
+
+        Unpickling garbage bytes can raise almost anything (decode,
+        attribute, index errors, ...), so *any* failure to load reads
+        as a miss and the value is recomputed — a damaged cache must
+        never abort an experiment.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                return True, pickle.load(fh)
+        except Exception:
+            return False, None
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """:meth:`get` plus hit/miss accounting.
+
+        The primitive :meth:`fetch` and batch callers (the sweep
+        scheduler) build on, so the counters mean the same thing on
+        every path.
+        """
+        hit, value = self.get(key)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store one value atomically (tmp file + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def fetch(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        compute: Callable[[], Any],
+        should_store: Optional[Callable[[Any], bool]] = None,
+    ) -> Any:
+        """Memoise ``compute()`` under the content address of the payload.
+
+        ``should_store`` vetoes persisting a freshly computed value
+        (e.g. a sizing run whose fixed point did not converge, whose
+        result is therefore not a pure function of the payload); the
+        value is still returned, just recomputed next time.
+        """
+        key = self.key(kind, payload)
+        hit, value = self.lookup(key)
+        if hit:
+            return value
+        value = compute()
+        if should_store is None or should_store(value):
+            self.put(key, value)
+        return value

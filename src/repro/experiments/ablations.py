@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.core.quadratic import QuadraticCoupledSizer, QuadraticDiagnostics
 from repro.core.sizing import BufferSizer, SizingResult
 from repro.core.splitting import quadratic_coupling_count
 from repro.errors import ReproError
+from repro.exec import ExecutionContext
 from repro.policies.analytic import AnalyticGreedySizing
 from repro.policies.ctmdp_policy import CTMDPSizing
 from repro.policies.proportional import ProportionalSizing
@@ -198,6 +199,7 @@ def run_policy_sweep(
     duration: float = 1_500.0,
     arch_seed: int = 2005,
     sizer_kwargs: dict | None = None,
+    context: Optional[ExecutionContext] = None,
 ) -> PolicySweepResult:
     """E6: uniform / proportional / analytic / CTMDP across load levels."""
     factories = {
@@ -215,6 +217,7 @@ def run_policy_sweep(
         policy_factories=factories,
         replications=replications,
         duration=duration,
+        context=context,
     )
     return PolicySweepResult(
         points=points, policy_names=list(factories)

@@ -22,7 +22,7 @@ from repro.arch.netproc import network_processor, processor_names
 from repro.arch.topology import Topology
 from repro.core.sizing import BufferAllocation
 from repro.errors import ReproError
-from repro.policies.ctmdp_policy import CTMDPSizing
+from repro.exec import ExecutionContext
 from repro.policies.timeout import calibrate_timeout_threshold
 from repro.policies.uniform import UniformSizing
 
@@ -68,15 +68,23 @@ class NetprocExperiment:
         calibration_duration: float = 3_000.0,
         sizer_kwargs: Optional[dict] = None,
         timeout_multiplier: Optional[float] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> "NetprocExperiment":
-        """Size all three configurations for one budget."""
+        """Size all three configurations for one budget.
+
+        ``context`` routes the expensive CTMDP sizing run through the
+        execution runtime (content-addressed cache); the default is the
+        uncached direct call.
+        """
         if budget < 1:
             raise ReproError(f"budget must be >= 1, got {budget}")
+        if context is None:
+            context = ExecutionContext()
         topology = network_processor(seed=arch_seed, load_scale=load_scale)
         pre_alloc = UniformSizing().allocate(topology, budget)
-        post_alloc = CTMDPSizing(**(sizer_kwargs or {})).allocate(
-            topology, budget
-        )
+        post_alloc = context.size(
+            topology, budget, sizer_kwargs=sizer_kwargs
+        ).allocation
         threshold = calibrate_timeout_threshold(
             topology,
             pre_alloc.as_capacities(),

@@ -17,16 +17,15 @@ The paper's own discussion motivates both:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.arch.netproc import network_processor
 from repro.arch.topology import Topology
 from repro.arch.traffic import OnOffTraffic, PoissonTraffic
 from repro.errors import ReproError
-from repro.policies.ctmdp_policy import CTMDPSizing
+from repro.exec import ExecutionContext
 from repro.queueing.mg1 import gim1_tail_decay
-from repro.sim.runner import replicate
 
 
 def _burstify(topology: Topology, scv_target: float) -> Topology:
@@ -107,15 +106,18 @@ def run_burstiness(
     duration: float = 1_000.0,
     arch_seed: int = 2005,
     sizer_kwargs: dict | None = None,
+    context: Optional[ExecutionContext] = None,
 ) -> BurstinessResult:
     """E7: size Poisson, simulate bursty, report the degradation."""
     if not scv_levels:
         raise ReproError("need at least one SCV level")
+    if context is None:
+        context = ExecutionContext()
     topology = network_processor(seed=arch_seed)
-    allocation = CTMDPSizing(**(sizer_kwargs or {})).allocate(
-        topology, budget
-    )
-    poisson_loss = replicate(
+    allocation = context.size(
+        topology, budget, sizer_kwargs=sizer_kwargs
+    ).allocation
+    poisson_loss = context.replicate(
         topology,
         allocation.as_capacities(),
         replications=replications,
@@ -134,7 +136,7 @@ def run_burstiness(
     base_decay = gim1_tail_decay(1.0, rho)
     for scv in scv_levels:
         bursty = _burstify(topology, scv)
-        loss = replicate(
+        loss = context.replicate(
             bursty,
             allocation.as_capacities(),
             replications=replications,
@@ -215,14 +217,17 @@ def run_weighted_loss(
     duration: float = 1_000.0,
     arch_seed: int = 2005,
     sizer_kwargs: dict | None = None,
+    context: Optional[ExecutionContext] = None,
 ) -> WeightedLossResult:
     """E8: weighted vs neutral CTMDP configurations (see class docstring)."""
     if weight <= 1.0:
         raise ReproError(f"critical weight should exceed 1, got {weight}")
+    if context is None:
+        context = ExecutionContext()
     base = network_processor(seed=arch_seed)
-    unweighted_alloc = CTMDPSizing(**(sizer_kwargs or {})).allocate(
-        base, budget
-    )
+    unweighted_alloc = context.size(
+        base, budget, sizer_kwargs=sizer_kwargs
+    ).allocation
     # Rebuild with elevated loss weights on the critical processors.
     weighted = Topology(f"{base.name}-weighted")
     for bus in base.buses.values():
@@ -247,11 +252,11 @@ def run_weighted_loss(
             flow.name, flow.source, flow.destination, flow.traffic
         )
     weighted.validate()
-    weighted_alloc = CTMDPSizing(**(sizer_kwargs or {})).allocate(
-        weighted, budget
-    )
+    weighted_alloc = context.size(
+        weighted, budget, sizer_kwargs=sizer_kwargs
+    ).allocation
 
-    neutral_summary = replicate(
+    neutral_summary = context.replicate(
         base,
         unweighted_alloc.as_capacities(),
         replications=replications,
@@ -263,7 +268,7 @@ def run_weighted_loss(
         name: weight if name in critical else 1.0
         for name in weighted_alloc.sizes
     }
-    weighted_summary = replicate(
+    weighted_summary = context.replicate(
         base,
         weighted_alloc.as_capacities(),
         replications=replications,

@@ -10,11 +10,12 @@ processor 1), the timeout policy worst in aggregate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.loss import PolicyComparison, compare_policies
 from repro.analysis.report import bar_chart, format_table
 from repro.analysis.stats import relative_improvement
+from repro.exec import ExecutionContext
 from repro.experiments.common import POST, PRE, TIMEOUT, NetprocExperiment
 
 
@@ -79,10 +80,18 @@ def run_figure3(
     arch_seed: int = 2005,
     base_seed: int = 0,
     sizer_kwargs: dict | None = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Figure3Result:
-    """Regenerate Figure 3 on the synthetic network processor."""
+    """Regenerate Figure 3 on the synthetic network processor.
+
+    ``context`` routes the sizing run and the three replication batches
+    through the execution runtime (process pool + result cache).
+    """
     experiment = NetprocExperiment.build(
-        budget=budget, arch_seed=arch_seed, sizer_kwargs=sizer_kwargs
+        budget=budget,
+        arch_seed=arch_seed,
+        sizer_kwargs=sizer_kwargs,
+        context=context,
     )
     comparison = compare_policies(
         experiment.topology,
@@ -92,6 +101,7 @@ def run_figure3(
         base_seed=base_seed,
         timeout_thresholds=experiment.timeout_thresholds(),
         processors=experiment.processors,
+        context=context,
     )
     return Figure3Result(
         experiment=experiment, comparison=comparison, budget=budget

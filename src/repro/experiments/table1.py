@@ -9,12 +9,15 @@ worse, and (b) post-sizing losses fall with budget and reach zero at 640.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.loss import PolicyComparison, compare_policies
 from repro.analysis.report import format_table
+from repro.arch.netproc import network_processor, processor_names
 from repro.errors import ReproError
-from repro.experiments.common import POST, PRE, NetprocExperiment
+from repro.exec import ExecutionContext
+from repro.experiments.common import POST, PRE
+from repro.policies.uniform import UniformSizing
 
 #: The processors the paper's table displays.
 PAPER_PROCESSORS = ("p1", "p4", "p15", "p16")
@@ -73,30 +76,40 @@ def run_table1(
     arch_seed: int = 2005,
     base_seed: int = 0,
     sizer_kwargs: dict | None = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Table1Result:
-    """Sweep the total budget and compare pre/post losses."""
+    """Sweep the total budget and compare pre/post losses.
+
+    The CTMDP sizings run through the execution runtime's budget-sweep
+    scheduler: consecutive budgets warm-start each other's bridge fixed
+    point (disable via the context's ``warm_start=False``), results are
+    memoised in the context's cache, and the replication batches of
+    every budget fan out over the context's process pool.
+    """
     if not budgets:
         raise ReproError("table 1 needs at least one budget")
+    if context is None:
+        context = ExecutionContext()
+    topology = network_processor(seed=arch_seed)
+    processors = processor_names(topology)
+    budget_list = [int(b) for b in budgets]
+    sweep = context.sweep(topology, budget_list, sizer_kwargs=sizer_kwargs)
     comparisons: Dict[int, PolicyComparison] = {}
-    processors: List[str] = []
-    for budget in budgets:
-        experiment = NetprocExperiment.build(
-            budget=int(budget), arch_seed=arch_seed, sizer_kwargs=sizer_kwargs
-        )
-        processors = experiment.processors
-        comparisons[int(budget)] = compare_policies(
-            experiment.topology,
+    for budget in budget_list:
+        comparisons[budget] = compare_policies(
+            topology,
             {
-                PRE: experiment.allocations[PRE],
-                POST: experiment.allocations[POST],
+                PRE: UniformSizing().allocate(topology, budget),
+                POST: sweep.result_for(budget).allocation,
             },
             replications=replications,
             duration=duration,
             base_seed=base_seed,
-            processors=experiment.processors,
+            processors=processors,
+            context=context,
         )
     return Table1Result(
-        budgets=[int(b) for b in budgets],
+        budgets=budget_list,
         comparisons=comparisons,
         processors=processors,
     )

@@ -7,12 +7,13 @@ is that loop, with independent seeds and mean/confidence aggregation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.topology import Topology
 from repro.errors import SimulationError
+from repro.exec.pool import parallel_map
 from repro.sim.system import CommunicationSystem
 
 
@@ -160,27 +161,79 @@ class ReplicationSummary:
         return {p: self.mean_loss(p) for p in processors}
 
 
+#: Replication seed schemes accepted by :func:`replication_seeds`.
+SEED_SCHEMES = ("legacy", "spawn")
+
+
+def replication_seeds(
+    replications: int,
+    base_seed: int = 0,
+    scheme: str = "legacy",
+) -> List[int]:
+    """Derive one simulation seed per replication.
+
+    ``"legacy"`` (default) is the historical ``base_seed + 1000 * r``
+    arithmetic progression, kept so all existing fixed-seed outputs are
+    unchanged.  It collides as soon as ``replications > 1000`` or when
+    two batches use base seeds less than ``1000 * replications`` apart
+    (batch ``base_seed=0`` replication 1 is batch ``base_seed=1000``
+    replication 0).
+
+    ``"spawn"`` derives seeds through
+    :meth:`numpy.random.SeedSequence.spawn`: each replication gets an
+    independent child stream whose first 64-bit word becomes the
+    simulation seed, making collisions across replications *and* across
+    nearby base seeds cryptographically unlikely.
+    """
+    if replications < 1:
+        raise SimulationError(
+            f"replications must be >= 1, got {replications}"
+        )
+    if scheme == "legacy":
+        return [base_seed + 1000 * r for r in range(replications)]
+    if scheme == "spawn":
+        children = np.random.SeedSequence(base_seed).spawn(replications)
+        return [
+            int(child.generate_state(1, np.uint64)[0]) for child in children
+        ]
+    raise SimulationError(
+        f"unknown seed scheme {scheme!r}; choose from {SEED_SCHEMES}"
+    )
+
+
+def _simulate_job(
+    job: Tuple[Topology, Dict[str, int], float, int, dict]
+) -> SimulationResult:
+    """Pool worker: one independent simulation (pure in its arguments)."""
+    topology, capacities, duration, seed, kwargs = job
+    return simulate(
+        topology, capacities, duration=duration, seed=seed, **kwargs
+    )
+
+
 def replicate(
     topology: Topology,
     capacities: Dict[str, int],
     replications: int = 10,
     duration: float = 10_000.0,
     base_seed: int = 0,
+    jobs: int = 1,
+    seed_scheme: str = "legacy",
     **kwargs,
 ) -> ReplicationSummary:
-    """Run ``replications`` independent simulations (the paper's 10 iterations)."""
-    if replications < 1:
-        raise SimulationError(
-            f"replications must be >= 1, got {replications}"
-        )
-    results = [
-        simulate(
-            topology,
-            capacities,
-            duration=duration,
-            seed=base_seed + 1000 * r,
-            **kwargs,
-        )
-        for r in range(replications)
-    ]
+    """Run ``replications`` independent simulations (the paper's 10 iterations).
+
+    ``jobs`` fans the independent-seed runs over a process pool via
+    :mod:`repro.exec.pool`; seeds are derived up front and results are
+    merged in replication order, so any ``jobs`` value produces a
+    bitwise-identical :class:`ReplicationSummary`.  ``seed_scheme``
+    selects how per-replication seeds are derived (see
+    :func:`replication_seeds`).
+    """
+    seeds = replication_seeds(replications, base_seed, seed_scheme)
+    results = parallel_map(
+        _simulate_job,
+        [(topology, capacities, duration, seed, kwargs) for seed in seeds],
+        jobs=jobs,
+    )
     return ReplicationSummary(results)

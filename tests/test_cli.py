@@ -76,3 +76,47 @@ class TestCommands:
     def test_infeasible_budget(self, arch_file, capsys):
         assert main(["size", arch_file, "--budget", "1"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRuntimeFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args([
+            "table1", "--jobs", "4", "--cache-dir", "/tmp/c",
+            "--no-warm-start",
+        ])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_warm_start is True
+
+    def test_simulate_lacks_warm_start_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "a.soc", "--budget", "8", "--no-warm-start"]
+            )
+
+    def test_simulate_pooled_and_cached(self, arch_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+            "--jobs", "2", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        pooled = capsys.readouterr().out
+        # Serial, uncached run must report the same statistics.
+        assert main([
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+        ]) == 0
+        assert capsys.readouterr().out == pooled
+        # Third run hits the populated cache and still agrees.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == pooled
+
+    def test_simulate_spawn_seed_scheme(self, arch_file, capsys):
+        assert main([
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+            "--seed-scheme", "spawn",
+        ]) == 0
+        assert "mean total loss" in capsys.readouterr().out

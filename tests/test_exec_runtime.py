@@ -1,0 +1,429 @@
+"""Tests for repro.exec — the experiment-execution runtime.
+
+Covers the three determinism/equivalence contracts the runtime makes:
+
+* ``jobs=N`` replication batches are bitwise-identical to ``jobs=1``;
+* warm-started budget sweeps produce the same allocations as cold
+  per-budget solves, in fewer total fixed-point iterations;
+* the content-addressed cache hits on identical configurations and
+  misses on any config or code-version change.
+"""
+
+import pickle
+
+import pytest
+
+from repro import _version
+from repro.arch.templates import amba_like, coreconnect_like, paper_figure1
+from repro.core.sizing import BufferSizer
+from repro.errors import ReproError, SimulationError
+from repro.exec import ExecutionContext
+from repro.exec.cache import (
+    ResultCache,
+    canonicalize,
+    stable_hash,
+    topology_fingerprint,
+)
+from repro.exec.pool import parallel_map, resolve_jobs
+from repro.exec.sweeps import sweep_budgets
+from repro.sim.runner import replicate, replication_seeds
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestPool:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_jobs(-2)
+
+    def test_serial_pooled_identical(self):
+        items = list(range(20))
+        serial = parallel_map(_square, items, jobs=1)
+        pooled = parallel_map(_square, items, jobs=2)
+        assert serial == [x * x for x in items]
+        assert pooled == serial
+
+    def test_order_preserved_with_chunking(self):
+        items = list(range(37))
+        assert parallel_map(_square, items, jobs=3, chunksize=5) == [
+            x * x for x in items
+        ]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            parallel_map(_raise_on_three, [1, 2, 3, 4], jobs=2)
+
+
+class TestSeedSchemes:
+    def test_legacy_is_the_historical_formula(self):
+        assert replication_seeds(5, base_seed=7) == [
+            7 + 1000 * r for r in range(5)
+        ]
+
+    def test_legacy_collides_across_nearby_batches(self):
+        # The defect the spawn scheme fixes: replication 1 of batch 0 is
+        # replication 0 of batch 1000.
+        batch_a = replication_seeds(2, base_seed=0)
+        batch_b = replication_seeds(2, base_seed=1000)
+        assert batch_a[1] == batch_b[0]
+
+    def test_spawn_unique_across_replications_and_batches(self):
+        seeds = set()
+        for base in range(6):
+            batch = replication_seeds(50, base_seed=base, scheme="spawn")
+            seeds.update(batch)
+        assert len(seeds) == 6 * 50
+
+    def test_spawn_deterministic(self):
+        assert replication_seeds(8, 3, "spawn") == replication_seeds(
+            8, 3, "spawn"
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SimulationError):
+            replication_seeds(2, scheme="quantum")
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(SimulationError):
+            replication_seeds(0)
+
+
+@pytest.fixture(scope="module")
+def amba():
+    return amba_like()
+
+
+@pytest.fixture(scope="module")
+def amba_caps(amba):
+    return {name: 3 for name in amba.processors}
+
+
+class TestParallelReplicate:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arbiter_kind": "longest_queue"},
+            {"arbiter_kind": "fixed_priority"},
+            {"arbiter_kind": "round_robin"},
+            {"arbiter_kind": "weighted_random"},
+            {"arbiter_kind": "longest_queue", "timeout_threshold": 1.5},
+            {"arbiter_kind": "longest_queue", "warmup": 50.0},
+        ],
+        ids=[
+            "longest_queue",
+            "fixed_priority",
+            "round_robin",
+            "weighted_random",
+            "timeout",
+            "warmup",
+        ],
+    )
+    def test_pooled_bitwise_identical(self, amba, amba_caps, kwargs):
+        serial = replicate(
+            amba, amba_caps, replications=3, duration=200.0, jobs=1, **kwargs
+        )
+        pooled = replicate(
+            amba, amba_caps, replications=3, duration=200.0, jobs=2, **kwargs
+        )
+        assert serial.results == pooled.results
+
+    def test_spawn_scheme_pooled_identical(self, amba, amba_caps):
+        serial = replicate(
+            amba, amba_caps, replications=4, duration=150.0,
+            jobs=1, seed_scheme="spawn",
+        )
+        pooled = replicate(
+            amba, amba_caps, replications=4, duration=150.0,
+            jobs=2, seed_scheme="spawn",
+        )
+        assert serial.results == pooled.results
+
+    def test_spawn_differs_from_legacy(self, amba, amba_caps):
+        legacy = replicate(amba, amba_caps, replications=3, duration=150.0)
+        spawn = replicate(
+            amba, amba_caps, replications=3, duration=150.0,
+            seed_scheme="spawn",
+        )
+        assert legacy.results != spawn.results
+
+
+class TestCanonicalize:
+    def test_scalars_and_containers(self):
+        tree = {"b": (1, 2), "a": {3, 1}, "c": None}
+        assert canonicalize(tree) == {"b": [1, 2], "a": [1, 3], "c": None}
+
+    def test_dataclass_tagged_with_type(self, amba):
+        traffic = next(iter(amba.flows.values())).traffic
+        out = canonicalize(traffic)
+        assert out["__type__"] == type(traffic).__name__
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(ReproError):
+            canonicalize(object())
+
+    def test_stable_hash_key_order_independent(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_topology_fingerprint_stable_across_builds(self, amba):
+        fp = stable_hash(topology_fingerprint(amba))
+        other = amba_like()
+        assert stable_hash(topology_fingerprint(other)) == fp
+
+    def test_topology_fingerprint_sensitive_to_rates(self, amba):
+        from repro.arch.topology import Topology
+
+        fp = stable_hash(topology_fingerprint(amba))
+        perturbed = Topology(amba.name)
+        for bus in amba.buses.values():
+            perturbed.add_bus(bus.name)
+        for link in amba.links:
+            perturbed.add_link(link.bus_a, link.bus_b)
+        for bridge in amba.bridges.values():
+            perturbed.add_bridge(
+                bridge.name, bridge.bus_a, bridge.bus_b,
+                service_rate=bridge.service_rate,
+                loss_weight=bridge.loss_weight,
+            )
+        for i, proc in enumerate(amba.processors.values()):
+            perturbed.add_processor(
+                proc.name, proc.bus,
+                # Bump one processor's service rate; everything else
+                # identical — the hash must move.
+                proc.service_rate * (1.001 if i == 0 else 1.0),
+                proc.loss_weight,
+            )
+        for flow in amba.flows.values():
+            perturbed.add_flow(
+                flow.name, flow.source, flow.destination, flow.traffic
+            )
+        assert stable_hash(topology_fingerprint(perturbed)) != fp
+
+    def test_topology_fingerprint_sensitive_to_traffic(self, amba):
+        fp = stable_hash(topology_fingerprint(amba))
+        scaled = amba_like()
+        name, flow = next(iter(scaled.flows.items()))
+        scaled.flows[name] = type(flow)(
+            name=flow.name,
+            source=flow.source,
+            destination=flow.destination,
+            traffic=flow.traffic.scaled(1.01),
+        )
+        assert stable_hash(topology_fingerprint(scaled)) != fp
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("thing", {"x": 1})
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"value": [1.5, 2.5]})
+        hit, value = cache.get(key)
+        assert hit and value == {"value": [1.5, 2.5]}
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key("thing", {"x": 1}) != cache.key("thing", {"x": 2})
+        assert cache.key("thing", {"x": 1}) != cache.key("other", {"x": 1})
+
+    def test_code_version_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key_now = cache.key("thing", {"x": 1})
+        monkeypatch.setattr(_version, "__version__", "999.0.0")
+        assert cache.key("thing", {"x": 1}) != key_now
+
+    def test_fetch_memoises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.fetch("k", {"a": 1}, compute) == 42
+        assert cache.fetch("k", {"a": 1}, compute) == 42
+        assert len(calls) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("thing", {"x": 1})
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+
+
+class TestExecutionContext:
+    def test_replicate_cached_across_calls(self, tmp_path, amba, amba_caps):
+        context = ExecutionContext.create(jobs=1, cache_dir=tmp_path)
+        first = context.replicate(
+            amba, amba_caps, replications=2, duration=150.0
+        )
+        second = context.replicate(
+            amba, amba_caps, replications=2, duration=150.0
+        )
+        assert context.cache.hits == 1
+        assert first.results == second.results
+        # A config change must recompute, not hit.
+        context.replicate(amba, amba_caps, replications=2, duration=151.0)
+        assert context.cache.misses == 2
+
+    def test_size_cached(self, tmp_path, amba):
+        context = ExecutionContext.create(cache_dir=tmp_path)
+        first = context.size(amba, 12)
+        second = context.size(amba, 12)
+        assert context.cache.hits == 1
+        assert first.allocation.sizes == second.allocation.sizes
+
+    def test_size_explicit_defaults_share_cache_entry(self, tmp_path, amba):
+        context = ExecutionContext.create(cache_dir=tmp_path)
+        context.size(amba, 12)
+        context.size(amba, 12, sizer_kwargs={"use_compiled": True})
+        assert context.cache.hits == 1
+
+    def test_jobs_do_not_affect_cache_key(self, tmp_path, amba, amba_caps):
+        serial = ExecutionContext.create(jobs=1, cache_dir=tmp_path)
+        serial.replicate(amba, amba_caps, replications=2, duration=150.0)
+        pooled = ExecutionContext.create(jobs=2, cache_dir=tmp_path)
+        pooled.replicate(amba, amba_caps, replications=2, duration=150.0)
+        assert pooled.cache.hits == 1
+
+    def test_explicit_defaults_share_cache_entry(
+        self, tmp_path, amba, amba_caps
+    ):
+        # Spelling out a default (as the CLI does) and omitting it (as
+        # compare_policies does) must address the same entry.
+        context = ExecutionContext.create(cache_dir=tmp_path)
+        context.replicate(amba, amba_caps, replications=2, duration=150.0)
+        context.replicate(
+            amba, amba_caps, replications=2, duration=150.0,
+            seed_scheme="legacy", arbiter_kind="longest_queue",
+            timeout_threshold=None, warmup=0.0,
+        )
+        assert context.cache.hits == 1
+
+    def test_non_converged_sizing_never_cached(self, tmp_path):
+        # One outer iteration cannot converge fig1's bridge fixed point,
+        # so the start-dependent result must be recomputed every time.
+        topo = paper_figure1()
+        context = ExecutionContext.create(cache_dir=tmp_path)
+        kwargs = {"max_fixed_point_iterations": 1}
+        first = context.size(topo, 16, sizer_kwargs=kwargs)
+        assert not first.converged
+        context.size(topo, 16, sizer_kwargs=kwargs)
+        assert context.cache.hits == 0
+        assert context.cache.misses == 2
+
+
+class TestWarmSweeps:
+    BUDGETS = (14, 16, 18, 20, 22, 24)
+
+    @pytest.fixture(scope="class")
+    def fig1(self):
+        return paper_figure1()
+
+    @pytest.fixture(scope="class")
+    def cold(self, fig1):
+        return sweep_budgets(fig1, self.BUDGETS, warm_start=False)
+
+    @pytest.fixture(scope="class")
+    def warm(self, fig1):
+        return sweep_budgets(fig1, self.BUDGETS, warm_start=True)
+
+    def test_allocations_equal_cold(self, cold, warm):
+        assert warm.allocations() == cold.allocations()
+
+    def test_warm_reduces_total_iterations(self, cold, warm):
+        assert (
+            warm.total_fixed_point_iterations
+            < cold.total_fixed_point_iterations
+        )
+
+    def test_warm_flags(self, cold, warm):
+        assert [p.warm_started for p in warm.points] == [
+            False, True, True, True, True, True,
+        ]
+        assert not any(p.warm_started for p in cold.points)
+
+    def test_budgets_match_cold_single_solves(self, fig1, warm):
+        for budget in (14, 24):
+            cold_result = BufferSizer(total_budget=budget).size(fig1)
+            assert (
+                warm.result_for(budget).allocation.sizes
+                == cold_result.allocation.sizes
+            )
+
+    def test_fixed_cap_keeps_structure_for_basis_reuse(self):
+        topo = coreconnect_like()
+        budgets = (12, 14, 16, 18, 20)
+        kwargs = {"capacity_cap": 4}
+        cold = sweep_budgets(topo, budgets, kwargs, warm_start=False)
+        warm = sweep_budgets(topo, budgets, kwargs, warm_start=True)
+        assert warm.allocations() == cold.allocations()
+        assert (
+            warm.total_fixed_point_iterations
+            <= cold.total_fixed_point_iterations
+        )
+
+    def test_parallel_cold_sweep_matches_serial(self, fig1, cold):
+        pooled = sweep_budgets(fig1, self.BUDGETS, warm_start=False, jobs=2)
+        assert pooled.allocations() == cold.allocations()
+
+    def test_cache_short_circuits_second_sweep(self, tmp_path, fig1):
+        cache = ResultCache(tmp_path)
+        first = sweep_budgets(fig1, (14, 16), cache=cache)
+        second = sweep_budgets(fig1, (14, 16), cache=cache)
+        assert all(not p.from_cache for p in first.points)
+        assert all(p.from_cache for p in second.points)
+        assert second.total_fixed_point_iterations == 0
+        assert second.allocations() == first.allocations()
+
+    def test_converged_flag_set(self, warm):
+        assert all(p.result.converged for p in warm.points)
+
+    def test_duplicate_budgets_solved_once(self, fig1):
+        deduped = sweep_budgets(fig1, (14, 14, 16), warm_start=True)
+        assert [p.budget for p in deduped.points] == [14, 14, 16]
+        assert deduped.points[0].result is deduped.points[1].result
+        single = sweep_budgets(fig1, (14, 16), warm_start=True)
+        assert (
+            deduped.total_fixed_point_iterations
+            == single.total_fixed_point_iterations
+        )
+
+    def test_non_converged_sweep_points_not_cached(self, tmp_path, fig1):
+        cache = ResultCache(tmp_path)
+        kwargs = {"max_fixed_point_iterations": 1}
+        first = sweep_budgets(fig1, (16,), kwargs, cache=cache)
+        assert not first.points[0].result.converged
+        second = sweep_budgets(fig1, (16,), kwargs, cache=cache)
+        assert not second.points[0].from_cache
+
+    def test_sizing_result_picklable(self, fig1, warm):
+        blob = pickle.dumps(warm.result_for(14))
+        assert pickle.loads(blob).allocation.sizes == warm.result_for(
+            14
+        ).allocation.sizes
+
+    def test_empty_budgets_rejected(self, fig1):
+        with pytest.raises(ReproError):
+            sweep_budgets(fig1, ())
+
+    def test_unknown_budget_rejected(self, warm):
+        with pytest.raises(ReproError):
+            warm.result_for(999)
