@@ -1,11 +1,14 @@
 """Quick perf smoke target: ``python -m benchmarks.quick``.
 
-Runs the simulator/sizing throughput benchmarks, the compiled-kernel
-micro-benches, and the execution-runtime benches (serial vs pooled
-replications, cold vs warm sweeps) with ``--benchmark-min-rounds=3`` —
-a couple of minutes, meant to run on every PR so perf regressions in
-the hot paths are visible immediately.  ``make bench-quick`` wraps this
-module.
+Runs the simulator/sizing throughput benchmarks (both simulation
+backends, grouped per function so the heap-vs-batched ratio reads off
+the table directly), the compiled-kernel micro-benches, and the
+execution-runtime benches (serial vs pooled replications, cold vs warm
+sweeps) with ``--benchmark-min-rounds=3`` — a couple of minutes, meant
+to run on every PR so perf regressions in the hot paths are visible
+immediately.  ``make bench-quick`` wraps this module; CI passes
+``--benchmark-json`` through ``BENCH_ARGS`` and uploads the result so
+the ``BENCH_*.json`` perf trajectory accumulates per run.
 """
 
 from __future__ import annotations
@@ -23,6 +26,10 @@ def main() -> int:
         str(bench_dir / "bench_compiled_kernels.py"),
         str(bench_dir / "bench_exec_runtime.py"),
         "--benchmark-min-rounds=3",
+        # One group per bench function: the backend-parametrized
+        # simulator bench then renders heap vs batched side by side
+        # with the relative speedup column.
+        "--benchmark-group-by=func",
         "-q",
     ]
     args.extend(sys.argv[1:])

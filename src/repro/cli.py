@@ -11,9 +11,11 @@ script entry point)::
     python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
 
 ``ARCH.soc`` files use the textual DSL of :mod:`repro.arch.dsl`.
-The runtime flags ``--jobs`` / ``--cache-dir`` / ``--no-warm-start``
-control the :mod:`repro.exec` execution runtime; none of them changes
-any reported number (see ``docs/execution.md``).
+The runtime flags ``--jobs`` / ``--cache-dir`` / ``--cache-max-mb`` /
+``--no-warm-start`` / ``--sim-backend`` control the :mod:`repro.exec`
+execution runtime; none of them changes any reported number, except
+that ``--sim-backend batched`` is only statistically equivalent under
+randomised arbitration (see ``docs/execution.md``).
 """
 
 from __future__ import annotations
@@ -52,6 +54,8 @@ def _context_from_args(args: argparse.Namespace) -> ExecutionContext:
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
         warm_start=not getattr(args, "no_warm_start", False),
+        sim_backend=getattr(args, "sim_backend", "heap"),
+        cache_max_mb=getattr(args, "cache_max_mb", None),
     )
 
 
@@ -72,6 +76,22 @@ def _add_runtime_flags(
         default=None,
         help="content-addressed result cache directory "
         "(repeat runs and overlapping sweeps skip recomputation)",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help="bound the cache directory to this many MiB with "
+        "least-recently-used eviction (requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--sim-backend",
+        choices=("heap", "batched"),
+        default="heap",
+        help="simulation engine for replication batches: 'heap' is the "
+        "reference event loop, 'batched' the array-native lane "
+        "(bitwise-identical fixed-seed metrics for deterministic "
+        "arbiters, statistically equivalent for randomised ones)",
     )
     if warm_start:
         parser.add_argument(

@@ -21,6 +21,14 @@ operations:
     **refreshed in place** across the bridge-rate fixed point instead of
     rebuilding the model.
 
+:class:`CompiledClientChain`
+    The decomposed per-client birth-death model of
+    :func:`repro.core.bus_model.build_client_chain_ctmdp`, frozen once
+    per client with the same in-place :meth:`~CompiledClientChain.refresh`
+    capability — the chain-path counterpart of the lattice, so
+    oversized subsystems stop rebuilding their tiny CTMDPs every
+    fixed-point iteration too.
+
 :func:`solve_sparse_lp`
     A thin wrapper over the HiGHS solver (scipy's vendored bindings)
     that keeps the simplex **basis** between solves, so successive LPs
@@ -489,6 +497,190 @@ class CompiledBusLattice:
                 )
             marginals[c.name] = p / total
         return marginals
+
+
+# ----------------------------------------------------------------------
+# Parameterized per-client chain
+# ----------------------------------------------------------------------
+
+
+class CompiledClientChain:
+    """One client's decomposed serve/idle chain, compiled and refreshable.
+
+    Builds the same model as
+    :func:`repro.core.bus_model.build_client_chain_ctmdp` — states are
+    the client's occupancies ``0..k``; every state has an ``idle``
+    action and (for ``q > 0``) a ``serve`` action carrying the
+    :data:`~repro.core.bus_model.BUS_TIME` constraint rate — directly
+    into the flat arrays :class:`CompiledCTMDP` would produce, skipping
+    the dict representation.  Every coefficient is computed with the
+    same IEEE operations in the same order as the reference builder, so
+    the arrays are bitwise identical to
+    ``build_client_chain_ctmdp(client, h).compiled()`` (asserted by the
+    equivalence tests).
+
+    :meth:`refresh` swaps in a new arrival rate (and the matching
+    holding cost) without touching the structure, which is what lets
+    :class:`~repro.core.sizing.BufferSizer` freeze chain blocks once per
+    client and only update rate coefficients across bridge-rate
+    fixed-point iterations.  Like the lattice, a refresh that flips the
+    zero/positive arrival pattern returns False and the caller rebuilds
+    (the arrival transitions themselves appear or vanish).
+
+    ``client`` is any object with ``name``, ``arrival_rate``,
+    ``service_rate``, ``capacity`` and ``loss_weight`` attributes.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "service_rate",
+        "loss_weight",
+        "arrival_rate",
+        "holding_cost_rate",
+        "n_states",
+        "n_pairs",
+        "pair_state",
+        "t_pair",
+        "t_target",
+        "t_rate",
+        "exit_rates",
+        "cost_rates",
+        "_serve_mask",
+        "_arrival_entries",
+        "_space",
+        "_bus_time",
+        "_pairs_cache",
+    )
+
+    def __init__(self, client, holding_cost_rate: float = 0.0) -> None:
+        if holding_cost_rate < 0:
+            raise ModelError(
+                f"holding cost rate must be >= 0, got {holding_cost_rate}"
+            )
+        k = int(client.capacity)
+        if k < 1:
+            raise ModelError(
+                f"client {client.name!r}: capacity must be >= 1, got {k}"
+            )
+        self.name = client.name
+        self.capacity = k
+        self.service_rate = float(client.service_rate)
+        self.loss_weight = float(client.loss_weight)
+        self.arrival_rate = float(client.arrival_rate)
+        self.holding_cost_rate = float(holding_cost_rate)
+
+        # Pair order mirrors the reference builder: per state q, `idle`
+        # first, then `serve` for q > 0.
+        self.n_states = k + 1
+        pair_state = [0]
+        serve_mask = [False]
+        for q in range(1, k + 1):
+            pair_state.extend((q, q))
+            serve_mask.extend((False, True))
+        self.pair_state = np.asarray(pair_state, dtype=np.int64)
+        self._serve_mask = np.asarray(serve_mask, dtype=bool)
+        self.n_pairs = len(pair_state)
+        self._space = self.pair_state.astype(float)
+        self._bus_time = self._serve_mask.astype(float)
+
+        # Transition structure: per pair, the arrival (q < k and
+        # lambda > 0) precedes the service transition — the insertion
+        # order of the dict builder.
+        has_arrival = (self.pair_state < k) & (self.arrival_rate > 0)
+        entries: List[Tuple[int, int, bool]] = []  # (pair, target, is_arrival)
+        for p in range(self.n_pairs):
+            q = int(self.pair_state[p])
+            if has_arrival[p]:
+                entries.append((p, q + 1, True))
+            if serve_mask[p]:
+                entries.append((p, q - 1, False))
+        self.t_pair = np.asarray([e[0] for e in entries], dtype=np.int64)
+        self.t_target = np.asarray([e[1] for e in entries], dtype=np.int64)
+        self._arrival_entries = np.asarray(
+            [e[2] for e in entries], dtype=bool
+        )
+        self.t_rate = np.empty(len(entries))
+        self.exit_rates = np.empty(self.n_pairs)
+        self.cost_rates = np.empty(self.n_pairs)
+        self._pairs_cache = None
+        self._recompute_values()
+
+    # ------------------------------------------------------------------
+
+    def _recompute_values(self) -> None:
+        lam = self.arrival_rate
+        mu = self.service_rate
+        self.t_rate[:] = np.where(self._arrival_entries, lam, mu)
+        # Exit rates accumulate arrival-then-service, mirroring the
+        # reference loop's addition order: fl(fl(0 + lam) + mu).
+        has_arrival = (self.pair_state < self.capacity) & (lam > 0)
+        exit_rates = np.where(has_arrival, lam, 0.0)
+        exit_rates = exit_rates + np.where(self._serve_mask, mu, 0.0)
+        self.exit_rates[:] = exit_rates
+        # Cost: fl(fl(w * lam at q == k) + fl(h * q)).
+        loss = np.where(
+            self.pair_state == self.capacity,
+            self.loss_weight * lam,
+            0.0,
+        )
+        self.cost_rates[:] = loss + self.holding_cost_rate * self._space
+
+    def refresh(
+        self, arrival_rate: float, holding_cost_rate: float
+    ) -> bool:
+        """Swap in new rate coefficients; False on a structure change.
+
+        A structure change means the zero/positive arrival pattern
+        flipped (arrival transitions would appear or vanish); the
+        caller must rebuild the chain in that case, exactly like
+        :meth:`CompiledBusLattice.refresh`.
+        """
+        if holding_cost_rate < 0:
+            raise ModelError(
+                f"holding cost rate must be >= 0, got {holding_cost_rate}"
+            )
+        if (float(arrival_rate) > 0) != (self.arrival_rate > 0):
+            return False
+        self.arrival_rate = float(arrival_rate)
+        self.holding_cost_rate = float(holding_cost_rate)
+        self._recompute_values()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def constraint_vector(self, name: str) -> np.ndarray:
+        from repro.core.bus_model import BUS_TIME, SPACE  # avoid cycle
+
+        if name == BUS_TIME:
+            return self._bus_time
+        if name == SPACE or name == f"{SPACE}:{self.name}":
+            return self._space
+        return np.zeros(self.n_pairs)
+
+    def balance_coo(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO triplets of the balance equations (see CompiledCTMDP)."""
+        rows = np.concatenate([self.t_target, self.pair_state])
+        cols = np.concatenate(
+            [self.t_pair, np.arange(self.n_pairs, dtype=np.int64)]
+        )
+        vals = np.concatenate([self.t_rate, -self.exit_rates])
+        return rows, cols, vals
+
+    @property
+    def pairs(self) -> List[Tuple]:
+        """(occupancy, action) pairs, materialised on first use."""
+        if self._pairs_cache is None:
+            from repro.core.bus_model import IDLE  # avoid import cycle
+
+            pairs = []
+            for p in range(self.n_pairs):
+                q = int(self.pair_state[p])
+                pairs.append((q, "serve" if self._serve_mask[p] else IDLE))
+            self._pairs_cache = pairs
+        return self._pairs_cache
 
 
 # ----------------------------------------------------------------------

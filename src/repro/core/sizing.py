@@ -53,7 +53,7 @@ from repro.core.bus_model import (
     joint_client_marginals,
     joint_state_space_size,
 )
-from repro.core.compiled import CompiledBusLattice, CompiledCTMDP
+from repro.core.compiled import CompiledBusLattice, CompiledClientChain
 from repro.core.kswitching import ClientDemand, allocate_greedy
 from repro.core.lp import BlockLP, BlockProgram, LPSolution
 from repro.core.splitting import (
@@ -193,11 +193,12 @@ class _SizingProgram:
 
     Built once per :meth:`BufferSizer.size` call: joint subsystems become
     refreshable :class:`CompiledBusLattice` blocks, oversized subsystems
-    become per-client chain blocks (tiny CTMDPs, recompiled per refresh),
+    become refreshable per-client :class:`CompiledClientChain` blocks,
     and the shared budget/bus-time rows are vector rows re-read from the
     blocks on every solve.  The bridge-rate fixed point then only calls
-    :meth:`refresh` + :meth:`solve_adaptive`, warm-starting each LP from
-    the previous optimal basis.
+    :meth:`refresh` + :meth:`solve_adaptive` — no block is ever rebuilt
+    unless its zero/positive rate pattern changes — warm-starting each
+    LP from the previous optimal basis.
     """
 
     def __init__(
@@ -246,10 +247,21 @@ class _SizingProgram:
         )
 
     @staticmethod
-    def _chain_provider(client: BusClient) -> CompiledCTMDP:
-        holding = 1e-5 * (client.loss_weight * client.arrival_rate + 1.0)
-        model = build_client_chain_ctmdp(client, holding_cost_rate=holding)
-        return model.compiled()
+    def _chain_holding(client: BusClient) -> float:
+        """The degeneracy-breaking holding cost of one chain block.
+
+        Single source of truth: the reference path
+        (:meth:`BufferSizer._build_blocks`) evaluates the same function,
+        so the compiled chain coefficients match it bitwise by
+        construction.
+        """
+        return 1e-5 * (client.loss_weight * client.arrival_rate + 1.0)
+
+    @classmethod
+    def _chain_provider(cls, client: BusClient) -> CompiledClientChain:
+        return CompiledClientChain(
+            client, holding_cost_rate=cls._chain_holding(client)
+        )
 
     # ------------------------------------------------------------------
 
@@ -276,7 +288,14 @@ class _SizingProgram:
                     for old in old_clients
                 ]
                 for client, b in zip(model_clients, blocks):
-                    self.program.providers[b] = self._chain_provider(client)
+                    chain = self.program.providers[b]
+                    if not chain.refresh(
+                        client.arrival_rate, self._chain_holding(client)
+                    ):
+                        # Zero/positive rate pattern changed — rebuild.
+                        self.program.providers[b] = self._chain_provider(
+                            client
+                        )
                 self.entries[e] = (sub, kind, model_clients, blocks)
 
     def solve_adaptive(
@@ -509,11 +528,11 @@ class BufferSizer:
                 ]
                 chain_models = []
                 for client in model_clients:
-                    holding = 1e-5 * (
-                        client.loss_weight * client.arrival_rate + 1.0
-                    )
                     model = build_client_chain_ctmdp(
-                        client, holding_cost_rate=holding
+                        client,
+                        holding_cost_rate=_SizingProgram._chain_holding(
+                            client
+                        ),
                     )
                     block_lp.add_block(model)
                     chain_models.append(model)

@@ -15,10 +15,10 @@ number they produce:
 * :mod:`repro.exec.cache` — a disk-backed content-addressed result
   store keyed by topology + configuration + code version.
 
-:class:`ExecutionContext` bundles the three knobs (``jobs``, ``cache``,
-``warm_start``) into the single object the drivers and the CLI pass
-around.  The default context is serial, uncached and warm — exactly the
-pre-runtime behaviour.
+:class:`ExecutionContext` bundles the runtime knobs (``jobs``,
+``cache``, ``warm_start``, ``sim_backend``) into the single object the
+drivers and the CLI pass around.  The default context is serial,
+uncached, warm and heap-engined — exactly the pre-runtime behaviour.
 """
 
 from __future__ import annotations
@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Dict, Optional
 
+from repro.errors import ReproError
 from repro.exec.cache import ResultCache, topology_fingerprint
 from repro.exec.pool import parallel_map, resolve_jobs
 
@@ -102,11 +103,18 @@ class ExecutionContext:
     warm_start:
         Chain budget sweeps through converged bridge rates / LP bases
         (the ``--no-warm-start`` escape hatch clears this).
+    sim_backend:
+        Simulation engine for replication batches — ``"heap"``
+        (reference) or ``"batched"`` (array lane); see
+        :data:`repro.sim.runner.SIM_BACKENDS`.  Unlike ``jobs``, the
+        backend *is* part of replication cache keys: randomised
+        arbiters are only statistically equivalent across backends.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     warm_start: bool = True
+    sim_backend: str = "heap"
 
     @classmethod
     def create(
@@ -114,12 +122,30 @@ class ExecutionContext:
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
         warm_start: bool = True,
+        sim_backend: str = "heap",
+        cache_max_mb: Optional[float] = None,
     ) -> "ExecutionContext":
-        """Build a context from plain CLI-style values."""
+        """Build a context from plain CLI-style values.
+
+        ``cache_max_mb`` bounds the cache directory (LRU eviction, in
+        MiB); it requires ``cache_dir``.
+        """
+        if cache_max_mb is not None and cache_dir is None:
+            raise ReproError("cache_max_mb requires a cache directory")
+        max_bytes = (
+            int(cache_max_mb * 1024 * 1024)
+            if cache_max_mb is not None
+            else None
+        )
         return cls(
             jobs=resolve_jobs(jobs),
-            cache=ResultCache(cache_dir) if cache_dir else None,
+            cache=(
+                ResultCache(cache_dir, max_bytes=max_bytes)
+                if cache_dir
+                else None
+            ),
             warm_start=bool(warm_start),
+            sim_backend=sim_backend,
         )
 
     # ------------------------------------------------------------------
@@ -166,12 +192,16 @@ class ExecutionContext:
         """A cached, pooled replication batch (`ReplicationSummary`).
 
         Accepts exactly the keyword arguments of
-        :func:`repro.sim.runner.replicate`; ``jobs`` is injected from
-        the context.  The cache key covers everything that determines
-        the statistics — never ``jobs``, which by the pool's determinism
-        contract cannot change them.
+        :func:`repro.sim.runner.replicate`; ``jobs`` and the simulation
+        ``backend`` are injected from the context (an explicit
+        ``backend`` kwarg wins).  The cache key covers everything that
+        determines the statistics — never ``jobs``, which by the pool's
+        determinism contract cannot change them, but always ``backend``,
+        which can (randomised arbiters).
         """
         from repro.sim.runner import replicate
+
+        kwargs.setdefault("backend", self.sim_backend)
 
         def compute():
             return replicate(topology, capacities, jobs=self.jobs, **kwargs)

@@ -16,6 +16,12 @@ cache schema version and the package code version, so
 Values are stored as individual pickle files under two-level fan-out
 directories (``<root>/<kk>/<key>.pkl``), written atomically via a
 rename so a crashed writer never leaves a truncated entry behind.
+
+A cache built with ``max_bytes`` evicts least-recently-used entries
+after every store until the on-disk footprint fits the bound: hits
+touch an entry's mtime, so recency survives process restarts, and
+unreadable (corrupt) entries are just bytes like any other — they read
+as misses and age out of the LRU order like everything else.
 """
 
 from __future__ import annotations
@@ -129,18 +135,37 @@ class ResultCache:
     ----------
     root:
         Cache directory (created on first use).
+    max_bytes:
+        Optional size bound.  After every store, least-recently-used
+        entries are deleted until the total entry footprint is at most
+        this many bytes (``--cache-max-mb`` on the CLI).  ``None``
+        (default) never evicts.  The bound is hard: a single entry
+        larger than ``max_bytes`` is itself evicted right after being
+        written, effectively disabling persistence for it.
 
     Attributes
     ----------
-    hits / misses:
-        Counters over this process's :meth:`fetch` calls, used by the
-        tests and the benchmark to assert cache behaviour.
+    hits / misses / evictions:
+        Counters over this process's :meth:`fetch`/:meth:`put` calls,
+        used by the tests and the benchmark to assert cache behaviour.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ReproError(
+                f"max_bytes must be >= 0 or None, got {max_bytes}"
+            )
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Running footprint estimate for the bounded cache: seeded by
+        # one directory scan on the first store, then bumped per put.
+        # Re-putting an existing key over-counts, which only triggers
+        # the (authoritative, correcting) eviction scan early — the
+        # estimate can never let the cache silently exceed the bound.
+        self._approx_bytes: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -177,9 +202,17 @@ class ResultCache:
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
-                return True, pickle.load(fh)
+                value = pickle.load(fh)
         except Exception:
             return False, None
+        if self.max_bytes is not None:
+            # Touch the entry so LRU eviction sees the access; recency
+            # lives in mtimes, surviving process restarts.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        return True, value
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
         """:meth:`get` plus hit/miss accounting.
@@ -196,7 +229,11 @@ class ResultCache:
         return hit, value
 
     def put(self, key: str, value: Any) -> None:
-        """Store one value atomically (tmp file + rename)."""
+        """Store one value atomically (tmp file + rename).
+
+        With ``max_bytes`` set, least-recently-used entries are evicted
+        afterwards until the footprint fits the bound.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -210,6 +247,68 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            if self._approx_bytes > self.max_bytes:
+                self._evict_lru()
+
+    def entry_paths(self) -> list:
+        """All entry files currently on disk (any fan-out directory)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.pkl"))
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of all entries."""
+        total = 0
+        for path in self.entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict_lru(self) -> None:
+        """Delete oldest-access entries until the bound is met.
+
+        Rescans the directory for an authoritative footprint (also
+        correcting :attr:`_approx_bytes` drift), so it is only invoked
+        when the running estimate crosses the bound — a put into a
+        well-under-bound cache costs one stat, not a directory walk.
+        Recency is the file mtime (ties break by file name so the order
+        is total); stat/unlink races with concurrent writers are
+        tolerated — a vanished file simply stops counting.  Corrupt
+        entries need no special casing: they occupy bytes, age like any
+        entry, and deleting one can never abort an experiment because
+        reads already treat unreadable entries as misses.
+        """
+        entries = []
+        total = 0
+        for path in self.entry_paths():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, path.name, path, st.st_size))
+            total += st.st_size
+        if total > self.max_bytes:
+            entries.sort()
+            for _mtime, _name, path, size in entries:
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                self.evictions += 1
+        self._approx_bytes = total
 
     def fetch(
         self,

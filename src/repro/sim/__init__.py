@@ -8,10 +8,14 @@ that exceed the timeout threshold under the timeout policy — are lost.
 
 Public surface:
 
-* :func:`repro.sim.runner.simulate` — run one topology + allocation.
+* :func:`repro.sim.runner.simulate` — run one topology + allocation
+  (``backend="heap"`` reference loop or ``backend="batched"`` array
+  lane; see :data:`repro.sim.runner.SIM_BACKENDS`).
 * :func:`repro.sim.runner.replicate` — n seeds, aggregated statistics.
 * :class:`repro.sim.runner.SimulationResult` — per-processor losses etc.
 * Arbiters in :mod:`repro.sim.arbiter`.
+* :class:`repro.sim.batched.BatchedSystem` — the array-native lane
+  itself, for callers that drive windows manually.
 """
 
 from repro.sim.arbiter import (
@@ -22,8 +26,10 @@ from repro.sim.arbiter import (
     WeightedRandomArbiter,
     make_arbiter,
 )
-from repro.sim.engine import Simulator
+from repro.sim.batched import BatchedSystem
+from repro.sim.engine import BatchedSimulator, Simulator
 from repro.sim.runner import (
+    SIM_BACKENDS,
     ReplicationSummary,
     SimulationResult,
     replicate,
@@ -33,11 +39,14 @@ from repro.sim.system import CommunicationSystem, client_name_for_bridge
 
 __all__ = [
     "Arbiter",
+    "BatchedSimulator",
+    "BatchedSystem",
     "CommunicationSystem",
     "FixedPriorityArbiter",
     "LongestQueueArbiter",
     "ReplicationSummary",
     "RoundRobinArbiter",
+    "SIM_BACKENDS",
     "SimulationResult",
     "Simulator",
     "WeightedRandomArbiter",

@@ -19,7 +19,20 @@ from repro.sim.buffer import FiniteBuffer
 
 
 class Arbiter(abc.ABC):
-    """Interface: pick the next buffer to serve among non-empty ones."""
+    """Interface: pick the next buffer to serve among non-empty ones.
+
+    Every policy exposes two equivalent surfaces:
+
+    * :meth:`grant` — the heap engine's view: a sequence of
+      :class:`FiniteBuffer` objects whose occupancies are inspected.
+    * :meth:`grant_counts` — the batched lane's view: a plain sequence
+      of occupancy counts (plus the client names, for weight lookups).
+
+    Both must pick the same index for the same occupancy pattern and —
+    for randomised policies — consume the shared generator through the
+    **same sequence of calls**, so a fixed-seed run is bitwise identical
+    whichever surface drives it (asserted by the equivalence tests).
+    """
 
     #: Whether :meth:`grant` ever consumes the shared generator.  The
     #: bus only batches its service-duration draws (a pure speedup that
@@ -37,6 +50,21 @@ class Arbiter(abc.ABC):
     ) -> Optional[int]:
         """Index into ``buffers`` of the granted client, or None if all empty."""
 
+    @abc.abstractmethod
+    def grant_counts(
+        self,
+        counts: Sequence[int],
+        names: Sequence[str],
+        now: float,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """:meth:`grant` over an occupancy-count array.
+
+        ``counts[i]`` is the queue length of client ``names[i]`` (same
+        order the buffer list would have).  Returns the granted index or
+        None when every count is zero.
+        """
+
 
 class FixedPriorityArbiter(Arbiter):
     """Always grant the lowest-indexed non-empty buffer.
@@ -50,6 +78,12 @@ class FixedPriorityArbiter(Arbiter):
     def grant(self, buffers, now, rng):
         for i, buf in enumerate(buffers):
             if not buf.is_empty:
+                return i
+        return None
+
+    def grant_counts(self, counts, names, now, rng):
+        for i, c in enumerate(counts):
+            if c:
                 return i
         return None
 
@@ -71,6 +105,16 @@ class RoundRobinArbiter(Arbiter):
                 return i
         return None
 
+    def grant_counts(self, counts, names, now, rng):
+        n = len(counts)
+        last = self._last
+        for offset in range(1, n + 1):
+            i = (last + offset) % n
+            if counts[i]:
+                self._last = i
+                return i
+        return None
+
 
 class LongestQueueArbiter(Arbiter):
     """Grant the fullest buffer (ties to the lowest index)."""
@@ -84,6 +128,15 @@ class LongestQueueArbiter(Arbiter):
             if buf.occupancy > best_len:
                 best = i
                 best_len = buf.occupancy
+        return best
+
+    def grant_counts(self, counts, names, now, rng):
+        best = None
+        best_len = 0
+        for i, c in enumerate(counts):
+            if c > best_len:
+                best = i
+                best_len = c
         return best
 
 
@@ -113,6 +166,19 @@ class WeightedRandomArbiter(Arbiter):
         total = w.sum()
         if total <= 0:
             # All-zero weights among candidates: fall back to uniform.
+            return candidates[int(rng.integers(len(candidates)))]
+        return candidates[int(rng.choice(len(candidates), p=w / total))]
+
+    def grant_counts(self, counts, names, now, rng):
+        # Performs the exact generator calls of grant() on the same
+        # candidate set, so the two surfaces consume the shared bit
+        # stream identically (the batched lane's determinism contract).
+        candidates = [i for i, c in enumerate(counts) if c]
+        if not candidates:
+            return None
+        w = np.array([self.weights.get(names[i], 1.0) for i in candidates])
+        total = w.sum()
+        if total <= 0:
             return candidates[int(rng.integers(len(candidates)))]
         return candidates[int(rng.choice(len(candidates), p=w / total))]
 

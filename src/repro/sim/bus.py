@@ -169,3 +169,43 @@ class ClusterBus:
         self.busy = False
         self.on_serviced(packet)
         self._grant_next()
+
+
+class ClusterState:
+    """Array extraction of one :class:`ClusterBus` for the batched lane.
+
+    Bundles, in arbiter order, the cluster's ring ids (indices into the
+    lane's global :class:`~repro.sim.buffer.PacketRing` registry), the
+    mutable occupancy-count list the vectorised grant loop reads, and
+    the client names — plus the *shared* arbiter/rng/service-pool
+    objects of the source bus.  Sharing (not copying) those objects is
+    deliberate: their internal state (a round-robin arbiter's cursor,
+    the pool's chunk position) carries over exactly, which is what the
+    bitwise determinism contract of :mod:`repro.sim.batched` requires.
+    """
+
+    __slots__ = (
+        "name",
+        "ring_ids",
+        "counts",
+        "names",
+        "arbiter",
+        "rng",
+        "pool",
+        "timeout_threshold",
+    )
+
+    def __init__(self, bus: ClusterBus, ring_ids: List[int]) -> None:
+        if len(ring_ids) != len(bus.buffers):
+            raise SimulationError(
+                f"cluster {bus.name!r}: {len(ring_ids)} ring ids for "
+                f"{len(bus.buffers)} buffers"
+            )
+        self.name = bus.name
+        self.ring_ids = list(ring_ids)
+        self.counts = [0] * len(bus.buffers)
+        self.names = [b.name for b in bus.buffers]
+        self.arbiter = bus.arbiter
+        self.rng = bus.rng
+        self.pool = bus._service_pool
+        self.timeout_threshold = bus.timeout_threshold

@@ -51,3 +51,29 @@ class ExponentialPool:
             i = 0
         self._index = i + 1
         return float(self._buf[i])
+
+    def take(self, count: int) -> np.ndarray:
+        """The next ``count`` variates as one float64 array.
+
+        Stream-identical to ``count`` successive :meth:`next` calls —
+        the pool still refills in ``chunk``-sized batches, so mixing
+        :meth:`take` and :meth:`next` on one pool consumes the generator
+        exactly like scalar draws would.  The batched simulation lane
+        uses this to pre-draw service variates into a flat array it then
+        indexes without any per-event method call.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        out = np.empty(count)
+        filled = 0
+        while filled < count:
+            if self._index >= self._chunk:
+                self._buf = self._rng.standard_exponential(self._chunk)
+                self._index = 0
+            step = min(self._chunk - self._index, count - filled)
+            out[filled:filled + step] = self._buf[
+                self._index:self._index + step
+            ]
+            self._index += step
+            filled += step
+        return out

@@ -58,6 +58,14 @@ class SimulationResult:
         return self.total_lost / self.total_offered
 
 
+#: Simulation backends accepted by :func:`simulate`.  ``"heap"`` is the
+#: reference engine (one callback per event); ``"batched"`` is the
+#: array-native lane of :mod:`repro.sim.batched`, which produces
+#: bitwise-identical fixed-seed metrics for deterministic arbiters and
+#: statistically equivalent ones under randomised arbitration.
+SIM_BACKENDS = ("heap", "batched")
+
+
 def simulate(
     topology: Topology,
     capacities: Dict[str, int],
@@ -67,15 +75,26 @@ def simulate(
     arbiter_weights: Optional[Dict[str, float]] = None,
     timeout_threshold: Optional[float] = None,
     warmup: float = 0.0,
+    backend: str = "heap",
 ) -> SimulationResult:
     """Run one simulation and collect per-processor statistics.
 
     ``warmup`` discards an initial transient: statistics are measured only
     on the ``[warmup, warmup + duration]`` window by running a first
-    segment and snapshotting counters.
+    segment and snapshotting counters.  Partially consumed RNG buffers
+    (interarrival chunks, service pools) are carried across the window
+    boundary on both backends, so the split windows consume the bit
+    stream exactly like one continuous run.
+
+    ``backend`` selects the event engine (see :data:`SIM_BACKENDS`).
     """
     if warmup < 0:
         raise SimulationError(f"warmup must be >= 0, got {warmup}")
+    if backend not in SIM_BACKENDS:
+        raise SimulationError(
+            f"unknown simulation backend {backend!r}; "
+            f"choose from {SIM_BACKENDS}"
+        )
     system = CommunicationSystem(
         topology,
         capacities,
@@ -84,19 +103,27 @@ def simulate(
         timeout_threshold=timeout_threshold,
         seed=seed,
     )
-    for source in system.sources:
-        source.start()
+    if backend == "batched":
+        from repro.sim.batched import BatchedSystem
+
+        lane = BatchedSystem(system)
+        lane.start()
+        advance = lane.run_until
+    else:
+        for source in system.sources:
+            source.start()
+        advance = system.simulator.run_until
     baseline_offered: Dict[str, int] = {}
     baseline_lost: Dict[str, int] = {}
     baseline_timeout: Dict[str, int] = {}
     baseline_delivered: Dict[str, int] = {}
     if warmup > 0:
-        system.simulator.run_until(warmup)
+        advance(warmup)
         baseline_offered = dict(system.monitor.offered)
         baseline_lost = dict(system.monitor.lost)
         baseline_timeout = dict(system.monitor.timed_out)
         baseline_delivered = dict(system.monitor.delivered)
-    system.simulator.run_until(warmup + duration)
+    advance(warmup + duration)
     monitor = system.monitor
     offered = {
         p: monitor.offered.get(p, 0) - baseline_offered.get(p, 0)
@@ -228,7 +255,9 @@ def replicate(
     merged in replication order, so any ``jobs`` value produces a
     bitwise-identical :class:`ReplicationSummary`.  ``seed_scheme``
     selects how per-replication seeds are derived (see
-    :func:`replication_seeds`).
+    :func:`replication_seeds`).  Remaining keyword arguments —
+    including the simulation ``backend`` — pass through to
+    :func:`simulate`.
     """
     seeds = replication_seeds(replications, base_seed, seed_scheme)
     results = parallel_map(

@@ -126,10 +126,12 @@ class TraceTraffic(TrafficDescriptor):
     ) -> np.ndarray:
         if count < 0:
             raise ModelError(f"count must be >= 0, got {count}")
-        out = np.empty(count)
-        for i in range(count):
-            out[i] = self._gaps[self._cursor]
-            self._cursor = (self._cursor + 1) % self._gaps.size
+        # One gather instead of a per-gap Python loop: modular index
+        # arithmetic reproduces the cycling cursor exactly, so replayed
+        # gap sequences are unchanged for any chunking of the calls.
+        gaps = self._gaps
+        out = gaps[(self._cursor + np.arange(count)) % gaps.size]
+        self._cursor = (self._cursor + count) % gaps.size
         return out
 
     def scaled(self, factor: float) -> "TraceTraffic":

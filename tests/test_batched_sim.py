@@ -1,0 +1,472 @@
+"""Equivalence suite for the batched simulation lane (repro.sim.batched).
+
+The batched backend must be a pure speedup: for deterministic arbiters
+(fixed priority, round robin, longest queue) fixed-seed metrics are
+bitwise identical to the heap engine across timeout/warmup configs and
+topologies; for randomised arbitration it must agree within batch-means
+confidence tolerance.  The lane's building blocks — the same-timestamp
+drain core, the occupancy-count grant surface, the block RNG draws, the
+packet ring — are each pinned to their object-engine references here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.netproc import network_processor
+from repro.arch.templates import amba_like, paper_figure1
+from repro.errors import SimulationError
+from repro.policies.uniform import UniformSizing
+from repro.sim.arbiter import (
+    FixedPriorityArbiter,
+    LongestQueueArbiter,
+    RoundRobinArbiter,
+    WeightedRandomArbiter,
+)
+from repro.sim.batched import BatchedSystem
+from repro.sim.buffer import FiniteBuffer, PacketRing
+from repro.sim.engine import BatchedSimulator
+from repro.sim.fastpath import ExponentialPool
+from repro.sim.packet import Hop, Packet
+from repro.sim.runner import SIM_BACKENDS, replicate, simulate
+from repro.sim.system import CommunicationSystem
+from repro.sim.workloads import (
+    RequestTrace,
+    TraceTraffic,
+    record_trace,
+    replay_topology,
+)
+
+DETERMINISTIC_ARBITERS = ("fixed_priority", "round_robin", "longest_queue")
+
+
+@pytest.fixture(scope="module")
+def netproc():
+    return network_processor()
+
+
+@pytest.fixture(scope="module")
+def netproc_caps(netproc):
+    return UniformSizing().allocate(netproc, 160).as_capacities()
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return paper_figure1()
+
+
+@pytest.fixture(scope="module")
+def fig1_caps(fig1):
+    return UniformSizing().allocate(fig1, 40).as_capacities()
+
+
+class TestBatchedSimulatorCore:
+    def test_pop_batch_groups_equal_timestamps(self):
+        sim = BatchedSimulator()
+        sim.push(2.0, 10)
+        sim.push(1.0, 11)
+        sim.push(1.0, 12)
+        when, codes = sim.pop_batch(5.0)
+        assert when == 1.0
+        assert codes == [11, 12]  # schedule order within the batch
+        assert sim.now == 1.0
+        when, codes = sim.pop_batch(5.0)
+        assert (when, codes) == (2.0, [10])
+
+    def test_pop_batch_respects_horizon(self):
+        sim = BatchedSimulator()
+        sim.push(3.0, 1)
+        assert sim.pop_batch(2.0) is None
+        assert sim.pending_events == 1
+        sim.advance_to(2.0)
+        assert sim.now == 2.0
+
+    def test_push_in_past_rejected(self):
+        sim = BatchedSimulator()
+        sim.push(1.0, 0)
+        sim.pop_batch(2.0)
+        with pytest.raises(SimulationError):
+            sim.push(0.5, 0)
+
+    def test_advance_past_pending_rejected(self):
+        sim = BatchedSimulator()
+        sim.push(1.0, 0)
+        with pytest.raises(SimulationError):
+            sim.advance_to(2.0)
+
+    def test_sequence_numbers_break_ties_like_the_heap_engine(self):
+        sim = BatchedSimulator()
+        first = sim.push(1.0, 7)
+        second = sim.push(1.0, 8)
+        assert second == first + 1
+        _when, codes = sim.pop_batch(1.0)
+        assert codes == [7, 8]
+
+
+class TestExponentialPoolTake:
+    def test_take_is_stream_identical_to_next(self):
+        a = ExponentialPool(np.random.default_rng(5), chunk=32)
+        b = ExponentialPool(np.random.default_rng(5), chunk=32)
+        taken = a.take(100)
+        scalars = np.array([b.next() for _ in range(100)])
+        assert (taken == scalars).all()
+        # And the pools stay aligned afterwards.
+        assert a.next() == b.next()
+
+    def test_take_interleaves_with_next(self):
+        a = ExponentialPool(np.random.default_rng(9), chunk=16)
+        b = ExponentialPool(np.random.default_rng(9), chunk=16)
+        seq_a = [a.next(), *a.take(20).tolist(), a.next()]
+        seq_b = [b.next() for _ in range(22)]
+        assert seq_a == seq_b
+
+    def test_take_negative_rejected(self):
+        pool = ExponentialPool(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            pool.take(-1)
+
+    def test_take_zero(self):
+        pool = ExponentialPool(np.random.default_rng(0))
+        assert pool.take(0).size == 0
+
+
+def _buffers_with_occupancy(counts):
+    buffers = []
+    for i, c in enumerate(counts):
+        buf = FiniteBuffer(f"c{i}", capacity=max(c, 1))
+        for k in range(c):
+            packet = Packet(
+                packet_id=k,
+                flow="f",
+                source="p",
+                destination="q",
+                hops=(Hop(0, f"c{i}", 1.0),),
+                created_at=0.0,
+            )
+            buf.offer(packet, 0.0)
+        buffers.append(buf)
+    return buffers
+
+
+class TestGrantCountsEquivalence:
+    """grant_counts must mirror grant on every occupancy pattern."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [FixedPriorityArbiter, LongestQueueArbiter, RoundRobinArbiter],
+    )
+    def test_deterministic_arbiters(self, make):
+        rng = np.random.default_rng(0)
+        obj_arb = make()
+        cnt_arb = make()
+        for _trial in range(200):
+            counts = [int(c) for c in rng.integers(0, 4, size=5)]
+            buffers = _buffers_with_occupancy(counts)
+            names = [b.name for b in buffers]
+            got_obj = obj_arb.grant(buffers, 0.0, rng)
+            got_cnt = cnt_arb.grant_counts(counts, names, 0.0, rng)
+            assert got_obj == got_cnt
+
+    def test_weighted_random_same_rng_stream(self):
+        weights = {"c0": 0.0, "c1": 2.0, "c3": 5.0}
+        obj_arb = WeightedRandomArbiter(weights)
+        cnt_arb = WeightedRandomArbiter(weights)
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        pattern_rng = np.random.default_rng(4)
+        for _trial in range(200):
+            counts = [int(c) for c in pattern_rng.integers(0, 3, size=4)]
+            buffers = _buffers_with_occupancy(counts)
+            names = [b.name for b in buffers]
+            assert obj_arb.grant(buffers, 0.0, rng_a) == cnt_arb.grant_counts(
+                counts, names, 0.0, rng_b
+            )
+        # Identical generator consumption, not just identical picks.
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_weighted_random_all_zero_weights_uniform_fallback(self):
+        arb = WeightedRandomArbiter({"c0": 0.0, "c1": 0.0})
+        got = arb.grant_counts(
+            [1, 2], ["c0", "c1"], 0.0, np.random.default_rng(0)
+        )
+        assert got in (0, 1)
+
+
+class TestPacketRing:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            PacketRing("x", -1)
+
+    def test_zero_capacity_ring_is_empty_and_full(self):
+        ring = PacketRing("x", 0)
+        assert ring.capacity == 0
+        assert ring.occupancy == 0
+        assert ring.snapshot() == []
+
+    def test_snapshot_wraps_fifo_order(self):
+        ring = PacketRing("x", 3)
+        # Fill slots as the lane would, wrapping past the end.
+        ring.flow[:] = [7, 8, 9]
+        ring.hop[:] = [0, 1, 0]
+        ring.created[:] = [1.0, 2.0, 3.0]
+        ring.enqueued[:] = [1.5, 2.5, 3.5]
+        ring.head = 2
+        ring.count = 2
+        assert ring.snapshot() == [(9, 0, 3.0, 3.5), (7, 0, 1.0, 1.5)]
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self, fig1, fig1_caps):
+        with pytest.raises(SimulationError, match="backend"):
+            simulate(fig1, fig1_caps, duration=10.0, backend="quantum")
+
+    def test_backends_registry(self):
+        assert SIM_BACKENDS == ("heap", "batched")
+
+    def test_lane_rejects_started_system(self, fig1, fig1_caps):
+        system = CommunicationSystem(fig1, fig1_caps)
+        for source in system.sources:
+            source.start()
+        system.simulator.run_until(1.0)
+        with pytest.raises(SimulationError, match="unstarted"):
+            BatchedSystem(system)
+
+    def test_lane_requires_start_before_run(self, fig1, fig1_caps):
+        lane = BatchedSystem(CommunicationSystem(fig1, fig1_caps))
+        with pytest.raises(SimulationError, match="start"):
+            lane.run_until(1.0)
+        lane.start()
+        with pytest.raises(SimulationError):
+            lane.start()
+
+
+class TestHeapBatchedEquivalence:
+    """The tentpole contract: fixed-seed metrics bitwise identical."""
+
+    @pytest.mark.parametrize("arbiter", DETERMINISTIC_ARBITERS)
+    @pytest.mark.parametrize("timeout", [None, 0.8])
+    @pytest.mark.parametrize("warmup", [0.0, 60.0])
+    def test_netproc_matrix(
+        self, netproc, netproc_caps, arbiter, timeout, warmup
+    ):
+        kwargs = dict(
+            duration=150.0,
+            seed=3,
+            arbiter_kind=arbiter,
+            timeout_threshold=timeout,
+            warmup=warmup,
+        )
+        heap = simulate(netproc, netproc_caps, **kwargs)
+        batched = simulate(
+            netproc, netproc_caps, backend="batched", **kwargs
+        )
+        assert heap == batched
+
+    @pytest.mark.parametrize("arbiter", DETERMINISTIC_ARBITERS)
+    def test_bridged_figure1(self, fig1, fig1_caps, arbiter):
+        kwargs = dict(duration=400.0, seed=11, arbiter_kind=arbiter)
+        assert simulate(fig1, fig1_caps, **kwargs) == simulate(
+            fig1, fig1_caps, backend="batched", **kwargs
+        )
+
+    def test_amba_with_timeout_and_warmup(self):
+        topology = amba_like()
+        caps = UniformSizing().allocate(topology, 24).as_capacities()
+        kwargs = dict(
+            duration=300.0,
+            seed=5,
+            arbiter_kind="fixed_priority",
+            timeout_threshold=1.2,
+            warmup=40.0,
+        )
+        assert simulate(topology, caps, **kwargs) == simulate(
+            topology, caps, backend="batched", **kwargs
+        )
+
+    def test_zero_capacity_bridge_buffers(self, netproc):
+        # Processor-only allocation: every bridge entry defaults to 0
+        # slots, so all crossing traffic is lost — the documented
+        # "forgot the bridge buffers" regime must match too.
+        caps = {p: 8 for p in netproc.processors}
+        kwargs = dict(duration=120.0, seed=2)
+        assert simulate(netproc, caps, **kwargs) == simulate(
+            netproc, caps, backend="batched", **kwargs
+        )
+
+    def test_different_seeds_differ(self, netproc, netproc_caps):
+        a = simulate(
+            netproc, netproc_caps, duration=120.0, seed=1, backend="batched"
+        )
+        b = simulate(
+            netproc, netproc_caps, duration=120.0, seed=2, backend="batched"
+        )
+        assert a != b
+
+    def test_warmup_windows_carry_buffers_over(self, netproc, netproc_caps):
+        """Splitting at the warmup boundary must not reset any pool.
+
+        A warmed run and an unwarmed run over the same total horizon
+        consume the bit stream identically, so the warmed run's offered
+        counts plus its discarded baseline must reproduce the full-run
+        counts — on both backends, and identically across them.
+        """
+        for backend in SIM_BACKENDS:
+            full = simulate(
+                netproc,
+                netproc_caps,
+                duration=200.0,
+                seed=6,
+                backend=backend,
+            )
+            warmed = simulate(
+                netproc,
+                netproc_caps,
+                duration=150.0,
+                warmup=50.0,
+                seed=6,
+                backend=backend,
+            )
+            assert sum(warmed.offered.values()) <= sum(full.offered.values())
+        heap = simulate(
+            netproc, netproc_caps, duration=150.0, warmup=50.0, seed=6
+        )
+        batched = simulate(
+            netproc,
+            netproc_caps,
+            duration=150.0,
+            warmup=50.0,
+            seed=6,
+            backend="batched",
+        )
+        assert heap == batched
+
+
+class TestRandomisedArbiterEquivalence:
+    """Contract: batch-means CI tolerance; currently bitwise in fact."""
+
+    def test_weighted_random_within_ci(self, netproc, netproc_caps):
+        weights = {f"p{i}": float(i) for i in range(1, 18)}
+        kwargs = dict(
+            replications=5,
+            duration=120.0,
+            base_seed=0,
+            arbiter_kind="weighted_random",
+            arbiter_weights=weights,
+        )
+        heap = replicate(netproc, netproc_caps, **kwargs)
+        batched = replicate(
+            netproc, netproc_caps, backend="batched", **kwargs
+        )
+        spread = max(heap.std_total_loss(), 1.0)
+        assert abs(
+            heap.mean_total_loss() - batched.mean_total_loss()
+        ) <= 3.0 * spread
+
+    def test_weighted_random_bitwise_today(self, fig1, fig1_caps):
+        # Stronger than the contract: grant_counts mirrors the exact
+        # generator calls of grant, so even randomised arbitration is
+        # currently bitwise across backends.  If a future lane change
+        # legitimately breaks this, demote the test to the CI-tolerance
+        # contract above.
+        weights = {"p1": 2.0, "p3": 0.5}
+        kwargs = dict(
+            duration=250.0,
+            seed=13,
+            arbiter_kind="weighted_random",
+            arbiter_weights=weights,
+        )
+        assert simulate(fig1, fig1_caps, **kwargs) == simulate(
+            fig1, fig1_caps, backend="batched", **kwargs
+        )
+
+
+class TestPooledBatchedReplication:
+    def test_jobs_bitwise_identical_to_serial(self, fig1, fig1_caps):
+        kwargs = dict(
+            replications=4, duration=120.0, base_seed=7, backend="batched"
+        )
+        serial = replicate(fig1, fig1_caps, jobs=1, **kwargs)
+        pooled = replicate(fig1, fig1_caps, jobs=2, **kwargs)
+        assert len(serial.results) == len(pooled.results)
+        for a, b in zip(serial.results, pooled.results):
+            assert a == b
+
+    def test_batched_replication_matches_heap(self, fig1, fig1_caps):
+        kwargs = dict(replications=3, duration=100.0, base_seed=1)
+        heap = replicate(fig1, fig1_caps, **kwargs)
+        batched = replicate(fig1, fig1_caps, backend="batched", **kwargs)
+        for a, b in zip(heap.results, batched.results):
+            assert a == b
+
+
+class TestTraceWorkloads:
+    def test_vectorised_sampler_matches_loop_reference(self):
+        gaps = [0.5, 1.25, 0.0, 2.0, 0.75]
+        traffic = TraceTraffic(gaps)
+        reference_cursor = 0
+        rng = np.random.default_rng(0)
+        for count in (3, 7, 1, 0, 11, 5):
+            got = traffic.sample_interarrivals(rng, count)
+            expected = []
+            for _ in range(count):
+                expected.append(gaps[reference_cursor])
+                reference_cursor = (reference_cursor + 1) % len(gaps)
+            assert got.tolist() == expected
+
+    def test_trace_replay_equivalent_across_backends(self, fig1):
+        # TraceTraffic replay cursors are stateful across runs (a
+        # pre-existing property of the descriptor, backend-independent),
+        # so each backend gets its own freshly replayed topology.
+        trace = record_trace(fig1, duration=200.0, seed=4)
+        caps = UniformSizing().allocate(
+            replay_topology(fig1, trace), 40
+        ).as_capacities()
+        kwargs = dict(duration=200.0, seed=0)
+        heap = simulate(replay_topology(fig1, trace), caps, **kwargs)
+        batched = simulate(
+            replay_topology(fig1, trace), caps, backend="batched", **kwargs
+        )
+        assert heap == batched
+
+    def test_simultaneous_trace_arrivals_tie_break_identically(self, fig1):
+        # Two flows replaying the *same* timestamps produce genuine
+        # same-timestamp event batches; the lane must resolve them in
+        # heap order (event ids), not merely by chance.
+        flows = sorted(fig1.flows)[:2]
+        times = [0.4 * (k + 1) for k in range(12)]
+        events = sorted(
+            ((t, f) for t in times for f in flows),
+            key=lambda e: (e[0], e[1]),
+        )
+        trace = RequestTrace(tuple(events))
+        caps = UniformSizing().allocate(
+            replay_topology(fig1, trace), 12
+        ).as_capacities()
+        kwargs = dict(duration=30.0, seed=0, arbiter_kind="fixed_priority")
+        heap = simulate(replay_topology(fig1, trace), caps, **kwargs)
+        batched = simulate(
+            replay_topology(fig1, trace), caps, backend="batched", **kwargs
+        )
+        assert heap == batched
+
+
+class TestLaneInternals:
+    def test_ring_state_synced_after_window(self, fig1, fig1_caps):
+        system = CommunicationSystem(fig1, fig1_caps, seed=3)
+        lane = BatchedSystem(system)
+        lane.start()
+        lane.run_until(50.0)
+        for ring, tracked in zip(lane.rings, lane._count):
+            assert ring.count == tracked
+            assert 0 <= ring.count <= max(ring.capacity, 0)
+            assert len(ring.snapshot()) == ring.count
+
+    def test_monitor_balance(self, netproc, netproc_caps):
+        result = simulate(
+            netproc, netproc_caps, duration=150.0, seed=0, backend="batched"
+        )
+        # Conservation: everything offered is delivered, lost, or still
+        # in flight (bounded by total buffer space + in-service slots).
+        in_flight = result.total_offered - result.total_lost - sum(
+            result.delivered.values()
+        )
+        assert 0 <= in_flight <= sum(netproc_caps.values()) + 20

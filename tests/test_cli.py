@@ -120,3 +120,40 @@ class TestRuntimeFlags:
             "--seed-scheme", "spawn",
         ]) == 0
         assert "mean total loss" in capsys.readouterr().out
+
+    def test_sim_backend_flag(self, arch_file, capsys):
+        base = [
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+        ]
+        assert main(base) == 0
+        heap_out = capsys.readouterr().out
+        # The default longest-queue arbiter is deterministic, so the
+        # batched lane must report byte-identical statistics.
+        assert main(base + ["--sim-backend", "batched"]) == 0
+        assert capsys.readouterr().out == heap_out
+
+    def test_sim_backend_choices_enforced(self, arch_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "simulate", arch_file, "--budget", "8",
+                "--sim-backend", "quantum",
+            ])
+
+    def test_cache_max_mb_flag(self, arch_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+            "--cache-dir", cache_dir, "--cache-max-mb", "64",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mean total loss" in out
+        # The bound without a directory is a config error, not a crash.
+        assert main([
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+            "--cache-max-mb", "64",
+        ]) == 2
+        assert "cache" in capsys.readouterr().err

@@ -15,6 +15,7 @@ from scipy.sparse import csr_matrix
 from repro.arch.netproc import network_processor
 from repro.arch.templates import amba_like, paper_figure1
 from repro.core.bus_model import (
+    BUS_TIME,
     SPACE,
     BusClient,
     build_client_chain_ctmdp,
@@ -23,6 +24,7 @@ from repro.core.bus_model import (
 )
 from repro.core.compiled import (
     CompiledBusLattice,
+    CompiledClientChain,
     CompiledCTMDP,
     solve_sparse_lp,
 )
@@ -323,6 +325,113 @@ class TestCompiledSizerEquivalence:
         kwargs = dict(total_budget=40, capacity_cap=5, joint_state_limit=1)
         fast = BufferSizer(**kwargs).size(amba_like())
         ref = BufferSizer(use_compiled=False, **kwargs).size(amba_like())
+        assert fast.allocation.sizes == ref.allocation.sizes
+
+
+def chain_holding(client):
+    """The sizing pipeline's degeneracy-breaking holding cost."""
+    return 1e-5 * (client.loss_weight * client.arrival_rate + 1.0)
+
+
+class TestCompiledClientChain:
+    """The refreshable chain block must be bitwise-equal to freezing
+    build_client_chain_ctmdp, and refreshing must equal rebuilding."""
+
+    def _assert_matches_reference(self, chain, client, holding):
+        ref = build_client_chain_ctmdp(
+            client, holding_cost_rate=holding
+        ).compiled()
+        assert chain.n_states == ref.n_states
+        assert chain.n_pairs == ref.n_pairs
+        assert chain.pairs == ref.pairs
+        for attr in (
+            "pair_state",
+            "t_pair",
+            "t_target",
+            "t_rate",
+            "exit_rates",
+            "cost_rates",
+        ):
+            np.testing.assert_array_equal(
+                getattr(chain, attr), getattr(ref, attr), err_msg=attr
+            )
+        for name in (SPACE, f"{SPACE}:{client.name}", BUS_TIME, "other"):
+            np.testing.assert_array_equal(
+                chain.constraint_vector(name),
+                ref.constraint_vector(name),
+                err_msg=name,
+            )
+        for got, want in zip(chain.balance_coo(), ref.balance_coo()):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_structure_matches_dict_builder(self, seed):
+        (client,) = random_clients(seed, n=1, max_cap=8)
+        holding = chain_holding(client)
+        chain = CompiledClientChain(client, holding_cost_rate=holding)
+        self._assert_matches_reference(chain, client, holding)
+
+    def test_zero_arrival_rate_client(self):
+        client = BusClient(
+            "idlehost", arrival_rate=0.0, service_rate=2.0, capacity=4
+        )
+        chain = CompiledClientChain(client, holding_cost_rate=1e-5)
+        self._assert_matches_reference(chain, client, 1e-5)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_refresh_matches_rebuild(self, seed):
+        (client,) = random_clients(seed, n=1, max_cap=6)
+        chain = CompiledClientChain(
+            client, holding_cost_rate=chain_holding(client)
+        )
+        rng = np.random.default_rng(seed + 100)
+        for _step in range(3):
+            updated = client.with_arrival_rate(float(rng.uniform(0.1, 3.0)))
+            holding = chain_holding(updated)
+            assert chain.refresh(updated.arrival_rate, holding)
+            self._assert_matches_reference(chain, updated, holding)
+
+    def test_refresh_reports_pattern_change(self):
+        client = BusClient("c", arrival_rate=1.0, service_rate=2.0, capacity=3)
+        chain = CompiledClientChain(client, holding_cost_rate=1e-5)
+        assert not chain.refresh(0.0, 1e-5)
+        # A rejected refresh leaves the chain untouched.
+        self._assert_matches_reference(chain, client, 1e-5)
+
+    def test_invalid_inputs_rejected(self):
+        client = BusClient("c", arrival_rate=1.0, service_rate=2.0, capacity=3)
+        with pytest.raises(ModelError):
+            CompiledClientChain(client, holding_cost_rate=-1.0)
+        chain = CompiledClientChain(client)
+        with pytest.raises(ModelError):
+            chain.refresh(1.0, -2.0)
+
+    def test_sizing_builds_each_chain_once(self, monkeypatch):
+        """The fixed point refreshes chain blocks instead of rebuilding.
+
+        The ROADMAP acceptance: chain-path sizing must construct each
+        per-client block exactly once however many bridge-rate
+        iterations run, while producing the same allocation as the
+        rebuild-everything reference path.
+        """
+        from repro.core import sizing as sizing_mod
+
+        built = []
+
+        class CountingChain(CompiledClientChain):
+            def __init__(self, *args, **kwargs):
+                built.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(
+            sizing_mod, "CompiledClientChain", CountingChain
+        )
+        kwargs = dict(total_budget=24, joint_state_limit=2)
+        fast = BufferSizer(**kwargs).size(paper_figure1())
+        num_clients = len(fast.split_system.all_client_names())
+        assert fast.fixed_point_iterations >= 2
+        assert sum(built) == num_clients
+        ref = BufferSizer(use_compiled=False, **kwargs).size(paper_figure1())
         assert fast.allocation.sizes == ref.allocation.sizes
 
 

@@ -268,6 +268,147 @@ class TestResultCache:
         assert not hit
 
 
+class TestCacheEviction:
+    """Size-bounded LRU eviction (max_bytes / --cache-max-mb)."""
+
+    @staticmethod
+    def _fill(cache, keys, payload=b"x" * 800):
+        import os
+
+        for age, key in enumerate(keys):
+            cache.put(key, payload)
+            # Pin distinct, increasing mtimes so LRU order is explicit
+            # regardless of filesystem timestamp granularity.
+            os.utime(cache.path_for(key), (age + 1, age + 1))
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [cache.key("k", {"i": i}) for i in range(8)]
+        self._fill(cache, keys)
+        assert len(cache.entry_paths()) == 8
+        assert cache.evictions == 0
+
+    def test_evicts_oldest_first_and_respects_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=4000)
+        keys = [cache.key("k", {"i": i}) for i in range(8)]
+        self._fill(cache, keys)
+        newest = cache.key("k", {"i": "new"})
+        cache.put(newest, b"y" * 800)
+        assert cache.total_bytes() <= 4000
+        assert cache.evictions > 0
+        survivors = {p.name for p in cache.entry_paths()}
+        # The oldest entries are the ones that went.
+        assert f"{keys[0]}.pkl" not in survivors
+        assert f"{keys[1]}.pkl" not in survivors
+        assert f"{newest}.pkl" in survivors
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_bytes=3000)
+        keys = [cache.key("k", {"i": i}) for i in range(3)]
+        self._fill(cache, keys)
+        # Touch the oldest through a hit; it must outlive a later
+        # eviction wave that claims the (now) least recently used key.
+        hit, _ = cache.get(keys[0])
+        assert hit
+        os.utime(cache.path_for(keys[0]), (100, 100))
+        cache.put(cache.key("k", {"i": "more"}), b"z" * 2000)
+        survivors = {p.name for p in cache.entry_paths()}
+        assert f"{keys[0]}.pkl" in survivors
+        assert f"{keys[1]}.pkl" not in survivors
+
+    def test_corrupt_entries_evict_like_any_other(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_bytes=1500)
+        key = cache.key("k", {"i": 0})
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"garbage" * 100)
+        os.utime(path, (1, 1))
+        hit, _ = cache.get(key)
+        assert not hit  # corrupt reads stay misses
+        fresh = cache.key("k", {"i": 1})
+        cache.put(fresh, b"v" * 1200)
+        survivors = {p.name for p in cache.entry_paths()}
+        assert f"{key}.pkl" not in survivors
+        assert f"{fresh}.pkl" in survivors
+
+    def test_fetch_still_works_under_eviction_pressure(self, tmp_path):
+        # A bound smaller than one entry disables persistence but must
+        # never break fetch(): every call recomputes.
+        cache = ResultCache(tmp_path, max_bytes=10)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return list(range(100))
+
+        assert cache.fetch("k", {"a": 1}, compute) == list(range(100))
+        assert cache.fetch("k", {"a": 1}, compute) == list(range(100))
+        assert len(calls) == 2
+        assert cache.total_bytes() <= 10
+
+    def test_negative_bound_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_create_requires_cache_dir_for_bound(self):
+        with pytest.raises(ReproError, match="cache directory"):
+            ExecutionContext.create(cache_max_mb=1.0)
+
+    def test_create_wires_bound_in_mib(self, tmp_path):
+        context = ExecutionContext.create(
+            cache_dir=tmp_path, cache_max_mb=2.5
+        )
+        assert context.cache.max_bytes == int(2.5 * 1024 * 1024)
+
+
+class TestSimBackendThreading:
+    """ExecutionContext.sim_backend reaches replicate() and cache keys."""
+
+    def test_backend_injected_into_replication(self, amba, amba_caps):
+        heap_ctx = ExecutionContext.create()
+        batched_ctx = ExecutionContext.create(sim_backend="batched")
+        a = heap_ctx.replicate(
+            amba, amba_caps, replications=2, duration=120.0
+        )
+        b = batched_ctx.replicate(
+            amba, amba_caps, replications=2, duration=120.0
+        )
+        # Deterministic default arbiter: backends agree bitwise.
+        assert a.results == b.results
+
+    def test_backend_is_part_of_cache_key(self, tmp_path, amba, amba_caps):
+        heap_ctx = ExecutionContext.create(cache_dir=tmp_path)
+        heap_ctx.replicate(amba, amba_caps, replications=2, duration=120.0)
+        batched_ctx = ExecutionContext.create(
+            cache_dir=tmp_path, sim_backend="batched"
+        )
+        batched_ctx.replicate(
+            amba, amba_caps, replications=2, duration=120.0
+        )
+        # Unlike jobs, the backend keys separately (randomised arbiters
+        # are only statistically equivalent across backends).
+        assert batched_ctx.cache.hits == 0
+        assert batched_ctx.cache.misses == 1
+
+    def test_explicit_backend_kwarg_wins(self, amba, amba_caps):
+        context = ExecutionContext.create(sim_backend="batched")
+        summary = context.replicate(
+            amba,
+            amba_caps,
+            replications=2,
+            duration=120.0,
+            backend="heap",
+        )
+        reference = replicate(
+            amba, amba_caps, replications=2, duration=120.0
+        )
+        assert summary.results == reference.results
+
+
 class TestExecutionContext:
     def test_replicate_cached_across_calls(self, tmp_path, amba, amba_caps):
         context = ExecutionContext.create(jobs=1, cache_dir=tmp_path)
