@@ -4,16 +4,26 @@ Infrastructure benches, not paper artefacts: they isolate the building
 blocks the sizing pipeline's wall-clock is made of — model freeze,
 sparse uniformization, vectorised DP sweeps, lattice refresh, and
 warm-started LP re-solves — so a regression in any one of them is
-visible without re-running the end-to-end pipeline bench.
+visible without re-running the end-to-end pipeline bench.  The freeze
+and lattice benches additionally run on real scenario subsystems (the
+largest split cluster of each registry scenario in the bench subset),
+so kernel regressions show up on the shapes the sizing pipeline
+actually solves, not just on synthetic clients.
 """
 
 import numpy as np
 import pytest
 
+from repro import scenarios
 from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
 from repro.core.compiled import CompiledBusLattice, CompiledCTMDP
 from repro.core.dp import relative_value_iteration
 from repro.core.lp import BlockLP
+from repro.core.splitting import split
+
+#: Scenario subset for the scenario-derived kernel benches (kept small:
+#: each adds a freeze + lattice bench pair).
+BENCH_SCENARIOS = ("netproc", "amba")
 
 
 def _clients(n=4, cap=4):
@@ -30,9 +40,28 @@ def _clients(n=4, cap=4):
     ]
 
 
+def _scenario_clients(scenario, capacity_cap=4):
+    """Clients of the largest split subsystem of one scenario."""
+    topology = scenarios.get(scenario).topology()
+    system = split(topology, capacity_cap=capacity_cap)
+    return max(
+        (sub.clients for sub in system.subsystems), key=len
+    )
+
+
 def test_compile_ctmdp(benchmark):
     """Freezing a built CTMDP into flat arrays."""
     model = build_joint_bus_ctmdp(_clients())
+    benchmark(lambda: CompiledCTMDP.from_model(model))
+
+
+@pytest.mark.parametrize("scenario", BENCH_SCENARIOS)
+def test_compile_ctmdp_scenario(benchmark, scenario):
+    """Model freeze on a real scenario's largest split subsystem."""
+    clients = _scenario_clients(scenario)
+    model = build_joint_bus_ctmdp(clients)
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["clients"] = len(clients)
     benchmark(lambda: CompiledCTMDP.from_model(model))
 
 
@@ -63,6 +92,16 @@ def test_lattice_build(benchmark):
     clients = _clients()
     lattice = benchmark(lambda: CompiledBusLattice(clients))
     assert lattice.n_states == 5 ** 4
+
+
+@pytest.mark.parametrize("scenario", BENCH_SCENARIOS)
+def test_lattice_build_scenario(benchmark, scenario):
+    """Lattice build on a real scenario's largest split subsystem."""
+    clients = _scenario_clients(scenario)
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["clients"] = len(clients)
+    lattice = benchmark(lambda: CompiledBusLattice(clients))
+    assert lattice.n_states > 1
 
 
 def test_lattice_refresh_vs_rebuild(benchmark):

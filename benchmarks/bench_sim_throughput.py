@@ -2,17 +2,18 @@
 
 Not a paper artefact — tracks the events-per-second of both simulation
 backends (the heap reference engine and the array-native batched lane)
-on the network-processor testbed so performance regressions in the
+over a scenario subset (the paper's netproc testbed plus two template
+scenarios from the registry) so performance regressions in the
 substrate, and the batched lane's speedup over the reference, are
-visible in benchmark runs.  Each throughput bench reports
-``events_per_second`` in its ``extra_info`` (arrivals plus service
-starts over mean wall time); ``make bench-quick`` groups the two
-backends so the ratio reads off directly.
+visible in benchmark runs across architecture shapes.  Each throughput
+bench reports ``events_per_second`` in its ``extra_info`` (arrivals
+plus service starts over mean wall time); ``make bench-quick`` groups
+the backends per scenario so the ratio reads off directly.
 """
 
 import pytest
 
-from repro.arch.netproc import network_processor
+from repro import scenarios
 from repro.policies.uniform import UniformSizing
 from repro.sim.runner import SIM_BACKENDS, simulate
 from repro.sim.system import CommunicationSystem
@@ -20,6 +21,21 @@ from repro.sim.system import CommunicationSystem
 #: Simulated horizon of the throughput benches.  Long enough that the
 #: event loop dominates one-time system construction.
 DURATION = 400.0
+
+#: Scenario subset the throughput/sizing benches sweep: the paper's
+#: testbed plus a bridged template at each end of the size range.
+BENCH_SCENARIOS = ("netproc", "fig1", "amba")
+
+
+def _setup(scenario):
+    """``(topology, capacities)`` of one scenario at its default budget."""
+    spec = scenarios.get(scenario)
+    topology = spec.topology()
+    capacities = (
+        UniformSizing().allocate(topology, spec.default_budget)
+        .as_capacities()
+    )
+    return topology, capacities
 
 
 def _run(topology, capacities, backend):
@@ -38,31 +54,34 @@ def _run(topology, capacities, backend):
     return system.monitor
 
 
+@pytest.mark.parametrize("scenario", BENCH_SCENARIOS)
 @pytest.mark.parametrize("backend", SIM_BACKENDS)
-def test_simulator_throughput(benchmark, backend):
-    topology = network_processor()
-    capacities = UniformSizing().allocate(topology, 160).as_capacities()
+def test_simulator_throughput(benchmark, scenario, backend):
+    benchmark.group = f"simulator_throughput[{scenario}]"
+    topology, capacities = _setup(scenario)
 
     monitor = benchmark(_run, topology, capacities, backend)
     # Executed events = packet arrivals + service starts (the two event
     # kinds of this model); report throughput for the perf trajectory.
     events = monitor.total_offered() + monitor.waiting_time_count
     assert events > 0
-    benchmark.extra_info["events"] = events
-    benchmark.extra_info["events_per_second"] = round(
-        events / benchmark.stats["mean"]
-    )
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["scenario"] = scenario
+        benchmark.extra_info["events"] = events
+        benchmark.extra_info["events_per_second"] = round(
+            events / benchmark.stats["mean"]
+        )
 
 
-def test_backend_equivalence_smoke():
-    """The two backends agree bitwise on the bench workload.
+@pytest.mark.parametrize("scenario", BENCH_SCENARIOS)
+def test_backend_equivalence_smoke(scenario):
+    """The two backends agree bitwise on the bench workloads.
 
     Guards the determinism contract right where the speedup is
     measured: identical fixed-seed metrics, so the throughput
-    comparison above is apples to apples.
+    comparison above is apples to apples — on every bench scenario.
     """
-    topology = network_processor()
-    capacities = UniformSizing().allocate(topology, 160).as_capacities()
+    topology, capacities = _setup(scenario)
     heap = simulate(topology, capacities, duration=150.0, seed=3)
     batched = simulate(
         topology, capacities, duration=150.0, seed=3, backend="batched"
@@ -70,14 +89,20 @@ def test_backend_equivalence_smoke():
     assert heap == batched
 
 
-def test_sizing_throughput(benchmark):
-    """End-to-end CTMDP sizing latency on the full testbed."""
+@pytest.mark.parametrize("scenario", BENCH_SCENARIOS)
+def test_sizing_throughput(benchmark, scenario):
+    """End-to-end CTMDP sizing latency per scenario at default budget."""
     from repro.core.sizing import BufferSizer
 
-    topology = network_processor()
+    benchmark.group = f"sizing_throughput[{scenario}]"
+    spec = scenarios.get(scenario)
+    topology = spec.topology()
 
     def run():
-        return BufferSizer(total_budget=160).size(topology)
+        return BufferSizer(
+            total_budget=spec.default_budget, **spec.sizer_kwargs
+        ).size(topology)
 
     result = benchmark.pedantic(run, iterations=1, rounds=2)
-    assert result.allocation.total == 160
+    assert result.allocation.total == spec.default_budget
+    benchmark.extra_info["scenario"] = scenario

@@ -1,0 +1,165 @@
+"""Diff two ``BENCH_quick.json`` runs and flag perf regressions.
+
+CI runs ``make bench-quick`` with ``--benchmark-json`` on every push and
+uploads the JSON artifact; the bench-diff step downloads the previous
+successful run's artifact and invokes this script::
+
+    python benchmarks/diff_bench.py PREV.json CURRENT.json --threshold 0.15
+
+For every benchmark present in both runs the script compares a
+*throughput* metric — ``extra_info.events_per_second`` where the bench
+reports one (the simulator throughput benches), the reciprocal of the
+mean wall time otherwise (sizing and kernel benches) — and emits a
+GitHub warning annotation (``::warning::``) for each benchmark whose
+throughput dropped by more than the threshold.  Warnings never fail the
+job (``--strict`` turns them into a non-zero exit for local gating):
+single-round CI timings are noisy, so the diff is a tripwire for humans,
+not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark whose throughput dropped beyond the threshold."""
+
+    name: str
+    metric: str
+    previous: float
+    current: float
+
+    @property
+    def drop(self) -> float:
+        """Fractional throughput drop (0.2 = 20% slower)."""
+        return 1.0 - self.current / self.previous
+
+    def annotation(self) -> str:
+        """The GitHub Actions warning line for this regression."""
+        return (
+            f"::warning title=bench regression::{self.name}: {self.metric} "
+            f"{self.previous:.4g} -> {self.current:.4g} "
+            f"({self.drop:.1%} drop)"
+        )
+
+
+def throughput_of(bench: dict) -> Optional[tuple]:
+    """``(metric_name, value)`` for one benchmark entry, higher = better.
+
+    Benches that report ``events_per_second`` compare on it directly;
+    everything else falls back to ``1 / stats.mean``.  Returns ``None``
+    for malformed entries (no usable timing) so a partially written JSON
+    never crashes the diff.
+    """
+    extra = bench.get("extra_info") or {}
+    eps = extra.get("events_per_second")
+    if isinstance(eps, (int, float)) and eps > 0:
+        return "events_per_second", float(eps)
+    mean = (bench.get("stats") or {}).get("mean")
+    if isinstance(mean, (int, float)) and mean > 0:
+        return "1/mean", 1.0 / float(mean)
+    return None
+
+
+def index_benchmarks(report: dict) -> Dict[str, dict]:
+    """Benchmark entries of one pytest-benchmark JSON, by full name."""
+    return {
+        bench["fullname"]: bench
+        for bench in report.get("benchmarks", [])
+        if "fullname" in bench
+    }
+
+
+def find_regressions(
+    previous: dict, current: dict, threshold: float
+) -> List[Regression]:
+    """Benchmarks in both runs whose throughput dropped > ``threshold``.
+
+    Benchmarks present in only one run (added, removed or renamed) are
+    skipped — a diff can only speak about common ground.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    prev_by_name = index_benchmarks(previous)
+    regressions: List[Regression] = []
+    for name, bench in sorted(index_benchmarks(current).items()):
+        prev = prev_by_name.get(name)
+        if prev is None:
+            continue
+        now = throughput_of(bench)
+        before = throughput_of(prev)
+        if now is None or before is None or now[0] != before[0]:
+            continue
+        if now[1] < before[1] * (1.0 - threshold):
+            regressions.append(
+                Regression(
+                    name=name,
+                    metric=now[0],
+                    previous=before[1],
+                    current=now[1],
+                )
+            )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_quick.json files for perf regressions"
+    )
+    parser.add_argument("previous", help="baseline BENCH_quick.json")
+    parser.add_argument("current", help="current BENCH_quick.json")
+    def threshold_arg(text: str) -> float:
+        value = float(text)
+        if not 0.0 < value < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"threshold must be in (0, 1), got {value}"
+            )
+        return value
+
+    parser.add_argument(
+        "--threshold",
+        type=threshold_arg,
+        default=0.15,
+        help="fractional throughput drop that triggers a warning, "
+        "in (0, 1) (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when regressions are found (local gating; "
+        "CI stays warning-only)",
+    )
+    args = parser.parse_args(argv)
+    reports = []
+    for path in (args.previous, args.current):
+        # A truncated or corrupt artifact (interrupted upload, expired
+        # retention mid-download) skips the diff instead of crashing it.
+        try:
+            with open(path) as fh:
+                reports.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"bench-diff: cannot read {path} ({exc}); skipping diff")
+            return 0
+    previous, current = reports
+    regressions = find_regressions(previous, current, args.threshold)
+    compared = len(
+        set(index_benchmarks(previous)) & set(index_benchmarks(current))
+    )
+    for regression in regressions:
+        print(regression.annotation())
+    print(
+        f"bench-diff: compared {compared} benchmark(s), "
+        f"{len(regressions)} regression(s) beyond "
+        f"{args.threshold:.0%} threshold"
+    )
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

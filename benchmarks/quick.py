@@ -26,10 +26,11 @@ def main() -> int:
         str(bench_dir / "bench_compiled_kernels.py"),
         str(bench_dir / "bench_exec_runtime.py"),
         "--benchmark-min-rounds=3",
-        # One group per bench function: the backend-parametrized
-        # simulator bench then renders heap vs batched side by side
-        # with the relative speedup column.
-        "--benchmark-group-by=func",
+        # Group by (explicit group, function): the scenario-parametrized
+        # simulator benches set one group per scenario, so heap vs
+        # batched render side by side with the relative speedup column
+        # for every scenario; ungrouped benches fall back to per-func.
+        "--benchmark-group-by=group,func",
         "-q",
     ]
     args.extend(sys.argv[1:])

@@ -18,6 +18,7 @@ from repro.core import BufferSizer, QuadraticCoupledSizer, split
 from repro.sim import simulate
 
 BUDGET = 18
+DURATION = 10_000.0
 
 
 def main() -> None:
@@ -47,7 +48,7 @@ def main() -> None:
         print(f"  {name:14s}: {size}")
     sim = simulate(
         topology, result.allocation.as_capacities(),
-        duration=10_000.0, seed=7,
+        duration=DURATION, seed=7,
     )
     print(f"\nsimulated loss rate:  {sim.total_loss_rate():.4f}/time "
           f"({sim.loss_fraction():.2%} of offered)")

@@ -13,6 +13,7 @@ from repro.experiments import run_figure3
 BUDGET = 160
 DURATION = 1_500.0
 REPLICATIONS = 4
+SIZER_KWARGS = None
 
 
 def main() -> None:
@@ -20,6 +21,7 @@ def main() -> None:
         budget=BUDGET,
         duration=DURATION,
         replications=REPLICATIONS,
+        sizer_kwargs=SIZER_KWARGS,
     )
     print(result.render(width=36))
     print()

@@ -12,19 +12,24 @@ from repro.experiments import run_policy_sweep
 
 BUDGET = 160
 LOADS = (0.8, 1.0, 1.2)
+REPLICATIONS = 3
+DURATION = 1_000.0
+SIZER_KWARGS = None
 
 
 def main() -> None:
     result = run_policy_sweep(
         load_scales=LOADS,
         budget=BUDGET,
-        replications=3,
-        duration=1_000.0,
+        replications=REPLICATIONS,
+        duration=DURATION,
+        sizer_kwargs=SIZER_KWARGS,
     )
     print(result.render())
     print()
     totals = result.totals()
-    best_at_nominal = min(totals, key=lambda name: totals[name][1])
+    nominal = min(range(len(LOADS)), key=lambda i: abs(LOADS[i] - 1.0))
+    best_at_nominal = min(totals, key=lambda name: totals[name][nominal])
     print(f"best policy at nominal load: {best_at_nominal}")
 
 

@@ -21,13 +21,19 @@ from repro.experiments.extensions import run_burstiness
 from repro.queueing.mg1 import buffer_for_loss_target, gim1_tail_decay
 from repro.queueing.phase_type import fit_two_moment_ph, mmpp2
 
+BUDGET = 160
+DURATION = 800.0
+REPLICATIONS = 2
+TRACE_SAMPLES = 30_000
+SIZER_KWARGS = None
+
 
 def main() -> None:
     # --- 1. "measure" a bursty trace and profile it -------------------------
     source = mmpp2(rate_high=6.0, rate_low=0.5, switch_to_low=0.4,
                    switch_to_high=0.4)
     rng = np.random.default_rng(42)
-    trace = source.sample_interarrivals(rng, 30_000)
+    trace = source.sample_interarrivals(rng, TRACE_SAMPLES)
     mean_gap = float(trace.mean())
     scv = float(trace.var() / mean_gap**2)
     print(f"profiled trace: mean rate {1.0 / mean_gap:.3f}, "
@@ -48,9 +54,11 @@ def main() -> None:
 
     # --- 3. end-to-end check on the network processor -----------------------
     print("\nPoisson-sized allocation under bursty traffic "
-          "(network processor, budget 160):")
+          f"(network processor, budget {BUDGET}):")
     result = run_burstiness(
-        scv_levels=(2.0, 4.0), budget=160, replications=2, duration=800.0,
+        scv_levels=(2.0, 4.0), budget=BUDGET,
+        replications=REPLICATIONS, duration=DURATION,
+        sizer_kwargs=SIZER_KWARGS,
     )
     print(result.render())
 

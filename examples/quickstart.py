@@ -17,6 +17,7 @@ from repro.sim import replicate
 BUDGET = 28
 DURATION = 5_000.0
 REPLICATIONS = 5
+SIZER_KWARGS = None
 
 
 def main() -> None:
@@ -27,7 +28,7 @@ def main() -> None:
     print()
 
     # --- the paper's method -------------------------------------------------
-    sizer = BufferSizer(total_budget=BUDGET)
+    sizer = BufferSizer(total_budget=BUDGET, **(SIZER_KWARGS or {}))
     result = sizer.size(topology)
     print(f"CTMDP sizing (budget {BUDGET}):")
     for name in sorted(result.allocation.sizes):

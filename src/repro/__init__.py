@@ -34,6 +34,12 @@ The package is organised as:
     Baseline allocation policies (uniform, traffic-proportional,
     analytic-greedy) and the timeout service policy.
 
+``repro.scenarios``
+    The declarative scenario layer: named ``ScenarioSpec`` entries
+    (netproc, fig1, amba, coreconnect) plus parametric families
+    (``random-mesh-<clusters>-<seed>``, ``single-bus-<n>``) that every
+    experiment driver, CLI subcommand and benchmark resolves by name.
+
 ``repro.analysis``
     Loss statistics, replication harness, parameter sweeps and ASCII
     report rendering used by the benchmark suite.

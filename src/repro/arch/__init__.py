@@ -16,6 +16,8 @@ from repro.arch.topology import (
     Flow,
     Processor,
     Topology,
+    processor_names,
+    rebuilt_topology,
 )
 from repro.arch.traffic import (
     HyperexponentialTraffic,
@@ -46,5 +48,7 @@ __all__ = [
     "coreconnect_like",
     "network_processor",
     "paper_figure1",
+    "processor_names",
+    "rebuilt_topology",
     "single_bus",
 ]

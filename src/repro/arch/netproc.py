@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arch.topology import Topology
+from repro.arch.topology import Topology, processor_names
 from repro.errors import TopologyError
+
+__all__ = ["network_processor", "processor_names"]
 
 #: Number of packet engines in the default testbed.
 NUM_ENGINES = 16
@@ -98,12 +100,3 @@ def network_processor(
         topo.add_poisson_flow(f"rpt_{i}", f"p{i}", "p17", rate)
     topo.validate()
     return topo
-
-
-def processor_names(topology: Topology) -> list:
-    """Processor names of a testbed in numeric order (p1, p2, ..., p17)."""
-    def sort_key(name: str):
-        digits = "".join(ch for ch in name if ch.isdigit())
-        return (int(digits) if digits else 0, name)
-
-    return sorted(topology.processors, key=sort_key)

@@ -438,3 +438,69 @@ class Topology:
             f"{len(self.processors)} processors, "
             f"{len(self.bridges)} bridges, {len(self.flows)} flows)"
         )
+
+
+def processor_names(topology: Topology) -> List[str]:
+    """Processor names of any topology in report order.
+
+    Numeric where names carry numbers (p1, p2, ..., p17 — the netproc
+    testbed and the single-bus family), lexicographic otherwise (cpu,
+    dma, ... on the template scenarios).  Every scenario-generic driver
+    uses this ordering for its per-processor tables and bars.
+    """
+    def sort_key(name: str):
+        digits = "".join(ch for ch in name if ch.isdigit())
+        return (int(digits) if digits else 0, name)
+
+    return sorted(topology.processors, key=sort_key)
+
+
+def rebuilt_topology(
+    topology: Topology,
+    name: Optional[str] = None,
+    flow_traffic=None,
+    processor_loss_weight=None,
+) -> Topology:
+    """Structure-preserving copy with optional per-element transforms.
+
+    Buses, links, bridges and processors are copied verbatim;
+    ``flow_traffic(flow) -> TrafficDescriptor`` replaces each flow's
+    traffic (load scaling, burstification) and
+    ``processor_loss_weight(processor) -> float`` replaces each
+    processor's loss weight (the weighted-loss extension).  The single
+    copy loop every transform shares — so a new structural attribute
+    only needs mirroring here.  The result is validated.
+    """
+    rebuilt = Topology(topology.name if name is None else name)
+    for bus in topology.buses.values():
+        rebuilt.add_bus(bus.name)
+    for link in topology.links:
+        rebuilt.add_link(link.bus_a, link.bus_b)
+    for bridge in topology.bridges.values():
+        rebuilt.add_bridge(
+            bridge.name,
+            bridge.bus_a,
+            bridge.bus_b,
+            service_rate=bridge.service_rate,
+            loss_weight=bridge.loss_weight,
+        )
+    for proc in topology.processors.values():
+        rebuilt.add_processor(
+            proc.name,
+            proc.bus,
+            proc.service_rate,
+            (
+                proc.loss_weight
+                if processor_loss_weight is None
+                else processor_loss_weight(proc)
+            ),
+        )
+    for flow in topology.flows.values():
+        rebuilt.add_flow(
+            flow.name,
+            flow.source,
+            flow.destination,
+            flow.traffic if flow_traffic is None else flow_traffic(flow),
+        )
+    rebuilt.validate()
+    return rebuilt

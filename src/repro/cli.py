@@ -3,19 +3,27 @@
 Usage (module form; also installed as ``repro-size`` via the console
 script entry point)::
 
+    python -m repro.cli scenarios list
     python -m repro.cli size ARCH.soc --budget 32
+    python -m repro.cli size --scenario amba --budget 18
     python -m repro.cli simulate ARCH.soc --budget 32 --policy ctmdp
+    python -m repro.cli simulate --scenario fig1 --budget 28
     python -m repro.cli inspect ARCH.soc
     python -m repro.cli figure3 --budget 160 --duration 1000 --reps 3
+    python -m repro.cli figure3 --scenario coreconnect --reps 3
     python -m repro.cli table1 --duration 800 --reps 3
     python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
 
-``ARCH.soc`` files use the textual DSL of :mod:`repro.arch.dsl`.
-The runtime flags ``--jobs`` / ``--cache-dir`` / ``--cache-max-mb`` /
-``--no-warm-start`` / ``--sim-backend`` control the :mod:`repro.exec`
-execution runtime; none of them changes any reported number, except
-that ``--sim-backend batched`` is only statistically equivalent under
-randomised arbitration (see ``docs/execution.md``).
+``ARCH.soc`` files use the textual DSL of :mod:`repro.arch.dsl`; the
+``--scenario`` flag resolves a named scenario from the
+:mod:`repro.scenarios` registry instead (``repro scenarios list``
+enumerates them).  The runtime flags ``--jobs`` / ``--cache-dir`` /
+``--cache-max-mb`` / ``--no-warm-start`` / ``--sim-backend`` control
+the :mod:`repro.exec` execution runtime; none of them changes any
+reported number, except that the simulation backends are only
+statistically equivalent under randomised arbitration (the default is
+the batched array lane; ``--sim-backend heap`` selects the reference
+event loop — see ``docs/execution.md``).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import scenarios
 from repro.arch.dsl import parse_topology
 from repro.arch.validate import cluster_loads
 from repro.core.sizing import BufferSizer
@@ -48,15 +57,50 @@ def _load_topology(path: str):
     return parse_topology(text)
 
 
-def _context_from_args(args: argparse.Namespace) -> ExecutionContext:
-    """Build the execution runtime from the shared runtime flags."""
-    return ExecutionContext.create(
+def _resolve_architecture(args: argparse.Namespace):
+    """``(topology, spec_or_None, budget)`` from one subcommand's args.
+
+    A subcommand that sizes or simulates takes either a ``.soc`` file
+    (positional) or a registered scenario name — exactly one of the
+    two.  ``--budget`` falls back to a scenario's declared default and
+    is mandatory for architecture files.
+    """
+    arch = getattr(args, "architecture", None)
+    name = getattr(args, "scenario", None)
+    if arch and name:
+        raise ReproError(
+            "pass either an architecture file or --scenario, not both"
+        )
+    budget = getattr(args, "budget", None)
+    if name:
+        spec = scenarios.get(name)
+        return spec.topology(), spec, (
+            spec.default_budget if budget is None else budget
+        )
+    if not arch:
+        raise ReproError(
+            "an architecture file or --scenario NAME is required"
+        )
+    if budget is None:
+        raise ReproError("--budget is required for architecture files")
+    return _load_topology(arch), None, budget
+
+
+def _context_from_args(
+    args: argparse.Namespace, spec=None
+) -> ExecutionContext:
+    """Build the execution runtime from the shared runtime flags.
+
+    ``spec`` (a resolved scenario) scopes the context's cache keys.
+    """
+    context = ExecutionContext.create(
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
         warm_start=not getattr(args, "no_warm_start", False),
-        sim_backend=getattr(args, "sim_backend", "heap"),
+        sim_backend=getattr(args, "sim_backend", "batched"),
         cache_max_mb=getattr(args, "cache_max_mb", None),
     )
+    return context.scoped(spec) if spec is not None else context
 
 
 def _add_runtime_flags(
@@ -87,11 +131,12 @@ def _add_runtime_flags(
     parser.add_argument(
         "--sim-backend",
         choices=("heap", "batched"),
-        default="heap",
-        help="simulation engine for replication batches: 'heap' is the "
-        "reference event loop, 'batched' the array-native lane "
-        "(bitwise-identical fixed-seed metrics for deterministic "
-        "arbiters, statistically equivalent for randomised ones)",
+        default="batched",
+        help="simulation engine for replication batches: 'batched' "
+        "(default) is the array-native lane, 'heap' the reference "
+        "event loop (bitwise-identical fixed-seed metrics for "
+        "deterministic arbiters, statistically equivalent for "
+        "randomised ones)",
     )
     if warm_start:
         parser.add_argument(
@@ -100,6 +145,18 @@ def _add_runtime_flags(
             help="solve every sweep budget cold instead of chaining "
             "bridge-rate/LP warm starts (results are identical)",
         )
+
+
+def _add_scenario_flag(parser: argparse.ArgumentParser, default=None) -> None:
+    """Attach ``--scenario`` to one subcommand."""
+    parser.add_argument(
+        "--scenario",
+        default=default,
+        metavar="NAME",
+        help="named scenario from the registry (see 'repro scenarios "
+        "list'); parametric families like random-mesh-<clusters>-<seed> "
+        "resolve on demand",
+    )
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -122,11 +179,31 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the scenario registry (fixed names + parametric families)."""
+    print("registered scenarios:")
+    for name in scenarios.names():
+        spec = scenarios.get(name)
+        topology = spec.topology()
+        print(
+            f"  {name:14s} {len(topology.processors):3d} processors, "
+            f"{len(topology.buses)} buses, {len(topology.bridges)} "
+            f"bridge(s), default budget {spec.default_budget}"
+        )
+        print(f"  {'':14s} {spec.description}")
+    print("parametric families:")
+    for family in scenarios.families():
+        print(f"  {family.pattern}")
+        print(f"      {family.description}")
+    return 0
+
+
 def _cmd_size(args: argparse.Namespace) -> int:
-    topology = _load_topology(args.architecture)
-    sizer = BufferSizer(total_budget=args.budget)
+    topology, spec, budget = _resolve_architecture(args)
+    sizer_kwargs = dict(spec.sizer_kwargs) if spec is not None else {}
+    sizer = BufferSizer(total_budget=budget, **sizer_kwargs)
     result = sizer.size(topology)
-    print(f"# allocation (budget {args.budget})")
+    print(f"# allocation (budget {budget})")
     for name in sorted(result.allocation.sizes):
         print(f"{name} {result.allocation.sizes[name]}")
     print(f"# expected loss rate {result.expected_loss_rate:.6f}")
@@ -137,10 +214,15 @@ def _cmd_size(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    topology = _load_topology(args.architecture)
-    policy = _POLICIES[args.policy]()
-    allocation = policy.allocate(topology, args.budget)
-    context = _context_from_args(args)
+    topology, spec, budget = _resolve_architecture(args)
+    if args.policy == "ctmdp" and spec is not None:
+        # The scenario's declared sizer knobs apply to every sizing run
+        # of that scenario — keep `simulate` consistent with `size`.
+        policy = CTMDPSizing(**spec.sizer_kwargs)
+    else:
+        policy = _POLICIES[args.policy]()
+    allocation = policy.allocate(topology, budget)
+    context = _context_from_args(args, spec)
     summary = context.replicate(
         topology,
         allocation.as_capacities(),
@@ -149,7 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         seed_scheme=args.seed_scheme,
     )
-    print(f"policy {args.policy}, budget {args.budget}:")
+    print(f"policy {args.policy}, budget {budget}:")
     print(f"  mean total loss {summary.mean_total_loss():.1f} "
           f"(+/- {summary.std_total_loss():.1f}) over {args.reps} runs")
     for proc in sorted(topology.processors):
@@ -165,6 +247,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
         duration=args.duration,
         replications=args.reps,
         context=_context_from_args(args),
+        scenario=args.scenario,
     )
     print(result.render())
     return 0
@@ -177,6 +260,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         duration=args.duration,
         replications=args.reps,
         context=_context_from_args(args),
+        scenario=args.scenario,
     )
     print(result.render())
     return 0
@@ -193,6 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p_scen = sub.add_parser(
+        "scenarios", help="list the registered evaluation scenarios"
+    )
+    p_scen.add_argument(
+        "action",
+        nargs="?",
+        choices=("list",),
+        default="list",
+        help="what to do (only 'list' for now)",
+    )
+    p_scen.set_defaults(func=_cmd_scenarios)
+
     p_inspect = sub.add_parser(
         "inspect", help="validate and summarise an architecture file"
     )
@@ -200,15 +296,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.set_defaults(func=_cmd_inspect)
 
     p_size = sub.add_parser("size", help="run the CTMDP sizing pipeline")
-    p_size.add_argument("architecture")
-    p_size.add_argument("--budget", type=int, required=True)
+    p_size.add_argument(
+        "architecture", nargs="?", default=None,
+        help="path to a .soc DSL file (or use --scenario)",
+    )
+    _add_scenario_flag(p_size)
+    p_size.add_argument(
+        "--budget", type=int, default=None,
+        help="total buffer budget (defaults to the scenario's declared "
+        "budget; required with an architecture file)",
+    )
     p_size.set_defaults(func=_cmd_size)
 
     p_sim = sub.add_parser(
         "simulate", help="size with a policy and simulate the result"
     )
-    p_sim.add_argument("architecture")
-    p_sim.add_argument("--budget", type=int, required=True)
+    p_sim.add_argument(
+        "architecture", nargs="?", default=None,
+        help="path to a .soc DSL file (or use --scenario)",
+    )
+    _add_scenario_flag(p_sim)
+    p_sim.add_argument(
+        "--budget", type=int, default=None,
+        help="total buffer budget (defaults to the scenario's declared "
+        "budget; required with an architecture file)",
+    )
     p_sim.add_argument(
         "--policy", choices=sorted(_POLICIES), default="ctmdp"
     )
@@ -228,14 +340,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig3 = sub.add_parser(
         "figure3", help="regenerate the paper's Figure 3"
     )
-    p_fig3.add_argument("--budget", type=int, default=160)
-    p_fig3.add_argument("--duration", type=float, default=1_500.0)
+    _add_scenario_flag(p_fig3)
+    p_fig3.add_argument(
+        "--budget", type=int, default=None,
+        help="total buffer budget (defaults to the scenario's declared "
+        "budget, 160 for netproc)",
+    )
+    p_fig3.add_argument(
+        "--duration", type=float, default=1_500.0,
+        help="simulated horizon per replication (quick-run default; "
+        "the Python API falls back to the scenario's declared "
+        "paper-grade horizon instead)",
+    )
     p_fig3.add_argument("--reps", type=int, default=5)
     _add_runtime_flags(p_fig3)
     p_fig3.set_defaults(func=_cmd_figure3)
 
     p_tab1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
-    p_tab1.add_argument("--duration", type=float, default=1_000.0)
+    _add_scenario_flag(p_tab1)
+    p_tab1.add_argument(
+        "--duration", type=float, default=1_000.0,
+        help="simulated horizon per replication (quick-run default; "
+        "the Python API falls back to the scenario's declared "
+        "paper-grade horizon instead)",
+    )
     p_tab1.add_argument("--reps", type=int, default=3)
     _add_runtime_flags(p_tab1, warm_start=True)
     p_tab1.set_defaults(func=_cmd_table1)

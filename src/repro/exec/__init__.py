@@ -16,13 +16,17 @@ number they produce:
   store keyed by topology + configuration + code version.
 
 :class:`ExecutionContext` bundles the runtime knobs (``jobs``,
-``cache``, ``warm_start``, ``sim_backend``) into the single object the
-drivers and the CLI pass around.  The default context is serial,
-uncached, warm and heap-engined — exactly the pre-runtime behaviour.
+``cache``, ``warm_start``, ``sim_backend``, ``scenario``) into the
+single object the drivers and the CLI pass around.  The default context
+is serial, uncached, warm and batched-engined (the array lane is the
+experiment default since it soaked; ``sim_backend="heap"`` selects the
+reference event loop, which produces bitwise-identical fixed-seed
+metrics for deterministic arbiters).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 from dataclasses import dataclass
 from functools import lru_cache
@@ -104,17 +108,31 @@ class ExecutionContext:
         Chain budget sweeps through converged bridge rates / LP bases
         (the ``--no-warm-start`` escape hatch clears this).
     sim_backend:
-        Simulation engine for replication batches — ``"heap"``
-        (reference) or ``"batched"`` (array lane); see
+        Simulation engine for replication batches — ``"batched"`` (the
+        array lane, default since it soaked) or ``"heap"`` (the
+        reference event loop; ``--sim-backend heap`` escape hatch); see
         :data:`repro.sim.runner.SIM_BACKENDS`.  Unlike ``jobs``, the
         backend *is* part of replication cache keys: randomised
         arbiters are only statistically equivalent across backends.
+    scenario:
+        Optional scenario scope (``ScenarioSpec.cache_scope()`` or any
+        canonicalisable value).  When set, every cache payload this
+        context builds carries it, so cached sizing/replication results
+        are scoped per scenario; ``None`` (the default) leaves payloads
+        unscoped.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     warm_start: bool = True
-    sim_backend: str = "heap"
+    sim_backend: str = "batched"
+    scenario: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        # Accept a ScenarioSpec anywhere a scope is accepted: the raw
+        # spec carries callables the cache hasher cannot canonicalise.
+        if hasattr(self.scenario, "cache_scope"):
+            self.scenario = self.scenario.cache_scope()
 
     @classmethod
     def create(
@@ -122,13 +140,15 @@ class ExecutionContext:
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
         warm_start: bool = True,
-        sim_backend: str = "heap",
+        sim_backend: str = "batched",
         cache_max_mb: Optional[float] = None,
+        scenario: Optional[Any] = None,
     ) -> "ExecutionContext":
         """Build a context from plain CLI-style values.
 
         ``cache_max_mb`` bounds the cache directory (LRU eviction, in
-        MiB); it requires ``cache_dir``.
+        MiB); it requires ``cache_dir``.  ``scenario`` accepts the same
+        values as :meth:`scoped` (a ``ScenarioSpec`` or a plain scope).
         """
         if cache_max_mb is not None and cache_dir is None:
             raise ReproError("cache_max_mb requires a cache directory")
@@ -137,7 +157,7 @@ class ExecutionContext:
             if cache_max_mb is not None
             else None
         )
-        return cls(
+        context = cls(
             jobs=resolve_jobs(jobs),
             cache=(
                 ResultCache(cache_dir, max_bytes=max_bytes)
@@ -147,8 +167,28 @@ class ExecutionContext:
             warm_start=bool(warm_start),
             sim_backend=sim_backend,
         )
+        return context if scenario is None else context.scoped(scenario)
 
     # ------------------------------------------------------------------
+
+    def scoped(self, scenario: Any) -> "ExecutionContext":
+        """A copy of this context scoped to one scenario's cache keys.
+
+        ``scenario`` may be a :class:`~repro.scenarios.ScenarioSpec`
+        (its :meth:`~repro.scenarios.ScenarioSpec.cache_scope` is
+        taken) or a plain canonicalisable value.  The cache object and
+        its hit/miss counters are shared with the parent context; only
+        the key scope changes.  Scoping is idempotent — re-scoping to
+        the same scenario returns ``self``.
+        """
+        scope = (
+            scenario.cache_scope()
+            if hasattr(scenario, "cache_scope")
+            else scenario
+        )
+        if scope == self.scenario:
+            return self
+        return dataclasses.replace(self, scenario=scope)
 
     def size(
         self,
@@ -169,7 +209,7 @@ class ExecutionContext:
             return compute()
         return self.cache.fetch(
             "sizing",
-            sizing_payload(topology, budget, sizer_kwargs),
+            sizing_payload(topology, budget, sizer_kwargs, scope=self.scenario),
             compute,
             should_store=sizing_result_cacheable,
         )
@@ -186,6 +226,7 @@ class ExecutionContext:
             warm_start=self.warm_start,
             cache=self.cache,
             jobs=self.jobs,
+            scope=self.scenario,
         )
 
     def replicate(self, topology, capacities: Dict[str, int], **kwargs):
@@ -217,4 +258,6 @@ class ExecutionContext:
             "capacities": {k: int(v) for k, v in capacities.items()},
             "kwargs": {k: batch_kwargs[k] for k in sorted(batch_kwargs)},
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
         return self.cache.fetch("replicate", payload, compute)

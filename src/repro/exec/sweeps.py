@@ -59,14 +59,26 @@ def _sizer_defaults() -> Dict[str, Any]:
 
 
 def sizing_payload(
-    topology, budget: int, sizer_kwargs: Optional[dict]
+    topology,
+    budget: int,
+    sizer_kwargs: Optional[dict],
+    scope: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Cache payload fully determining one sizing run's result."""
-    return {
+    """Cache payload fully determining one sizing run's result.
+
+    ``scope`` is the optional scenario scope (see
+    :meth:`repro.exec.ExecutionContext.scoped`): when set it becomes
+    part of the payload, so two scenarios never share sizing entries;
+    ``None`` keeps the payload — hence the key — unscoped.
+    """
+    payload: Dict[str, Any] = {
         "topology": topology_fingerprint(topology),
         "budget": int(budget),
         "sizer_kwargs": {**_sizer_defaults(), **(sizer_kwargs or {})},
     }
+    if scope is not None:
+        payload["scenario"] = scope
+    return payload
 
 
 def sizing_result_cacheable(result: SizingResult) -> bool:
@@ -141,6 +153,7 @@ def sweep_budgets(
     warm_start: bool = True,
     cache: Optional[ResultCache] = None,
     jobs: int = 1,
+    scope: Optional[Any] = None,
 ) -> BudgetSweepOutcome:
     """Size one topology at several budgets, chaining warm starts.
 
@@ -165,6 +178,9 @@ def sweep_budgets(
         With ``warm_start=False``, uncached points fan out over a
         process pool (a warm chain is inherently sequential, so ``jobs``
         is ignored when warm starting).
+    scope:
+        Optional scenario scope added to every point's cache payload
+        (see :func:`sizing_payload`).
     """
     if not budgets:
         raise ReproError("budget sweep needs at least one budget")
@@ -176,7 +192,8 @@ def sweep_budgets(
     if cache is not None:
         keys = {
             budget: cache.key(
-                "sizing", sizing_payload(topology, budget, sizer_kwargs)
+                "sizing",
+                sizing_payload(topology, budget, sizer_kwargs, scope=scope),
             )
             for budget in unique_budgets
         }

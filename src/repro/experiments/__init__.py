@@ -8,9 +8,13 @@
   (~20% total-loss reduction vs constant sizing, ~50% vs timeout).
 * :mod:`repro.experiments.ablations` — split-vs-quadratic, solver
   agreement, and the policy/load sweep.
+
+Every driver is scenario-generic: ``scenario=`` accepts any name from
+the :mod:`repro.scenarios` registry (default: ``netproc``, the paper's
+testbed), and the execution runtime scopes its cache keys per scenario.
 """
 
-from repro.experiments.common import NetprocExperiment
+from repro.experiments.common import NetprocExperiment, ScenarioExperiment
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.headline import HeadlineResult, run_headline
 from repro.experiments.table1 import Table1Result, run_table1
@@ -35,6 +39,7 @@ __all__ = [
     "HeadlineResult",
     "NetprocExperiment",
     "PolicySweepResult",
+    "ScenarioExperiment",
     "SolverAgreementResult",
     "SplitVsQuadraticResult",
     "Table1Result",

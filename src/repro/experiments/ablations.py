@@ -18,7 +18,6 @@ import numpy as np
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import SweepPoint, load_sweep
-from repro.arch.netproc import network_processor
 from repro.arch.templates import paper_figure1
 from repro.arch.topology import Topology
 from repro.core.bus_model import BusClient, build_joint_bus_ctmdp
@@ -194,23 +193,35 @@ class PolicySweepResult:
 
 def run_policy_sweep(
     load_scales: Sequence[float] = (0.6, 1.0, 1.4),
-    budget: int = 120,
+    budget: Optional[int] = None,
     replications: int = 5,
     duration: float = 1_500.0,
-    arch_seed: int = 2005,
+    arch_seed: Optional[int] = None,
     sizer_kwargs: dict | None = None,
     context: Optional[ExecutionContext] = None,
+    scenario=None,
 ) -> PolicySweepResult:
-    """E6: uniform / proportional / analytic / CTMDP across load levels."""
+    """E6: uniform / proportional / analytic / CTMDP across load levels.
+
+    ``scenario`` selects the architecture family (default netproc); the
+    load axis rebuilds the scenario's topology at each scale, and
+    ``budget`` defaults to the scenario's declared budget.
+    """
+    from repro.experiments.common import scenario_setup
+
+    spec, context, merged_sizer = scenario_setup(
+        scenario, context, sizer_kwargs
+    )
+    budget = spec.default_budget if budget is None else budget
     factories = {
         "uniform": UniformSizing,
         "proportional": ProportionalSizing,
         "analytic": AnalyticGreedySizing,
-        "ctmdp": lambda: CTMDPSizing(**(sizer_kwargs or {})),
+        "ctmdp": lambda: CTMDPSizing(**(merged_sizer or {})),
     }
     points = load_sweep(
-        topology_factory=lambda scale: network_processor(
-            seed=arch_seed, load_scale=scale
+        topology_factory=lambda scale: spec.topology(
+            arch_seed=arch_seed, load_scale=scale
         ),
         load_scales=load_scales,
         budget=budget,

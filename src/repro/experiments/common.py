@@ -1,4 +1,4 @@
-"""Shared setup for the network-processor experiments.
+"""Shared setup for the paper experiments, scenario-generically.
 
 Every paper experiment uses the same three configurations:
 
@@ -11,92 +11,129 @@ Every paper experiment uses the same three configurations:
     The pre-sizing allocation with the timeout dropping policy, whose
     threshold is calibrated from the measured average buffer waiting
     time.
+
+:class:`ScenarioExperiment` builds the three configurations for any
+registered scenario (see :mod:`repro.scenarios`); the paper's testbed is
+just the default registry entry (``netproc``), and
+:class:`NetprocExperiment` remains as the netproc-pinned alias the
+original drivers were written against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
 
-from repro.arch.netproc import network_processor, processor_names
-from repro.arch.topology import Topology
+from repro.arch.topology import Topology, processor_names
 from repro.core.sizing import BufferAllocation
 from repro.errors import ReproError
 from repro.exec import ExecutionContext
 from repro.policies.timeout import calibrate_timeout_threshold
 from repro.policies.uniform import UniformSizing
+from repro.scenarios import ScenarioSpec, resolve
 
 #: Configuration names used across all experiments.
 PRE, POST, TIMEOUT = "pre", "post", "timeout"
 
 
+def scenario_setup(
+    scenario: Union[str, ScenarioSpec, None],
+    context: Optional[ExecutionContext],
+    sizer_kwargs: Optional[dict] = None,
+):
+    """Shared driver prologue: ``(spec, scoped context, merged sizer)``.
+
+    Resolves the scenario, scopes the execution context to its cache
+    keys (building a default context when the caller passed none) and
+    merges the caller's sizer arguments over the scenario's own
+    (``None`` when the merge is empty, so downstream ``BufferSizer``
+    calls see no kwargs at all).  Every scenario-generic driver starts
+    here, so the resolution rules cannot drift between them.
+    """
+    spec = resolve(scenario)
+    context = (context or ExecutionContext()).scoped(spec)
+    merged = {**spec.sizer_kwargs, **(sizer_kwargs or {})}
+    return spec, context, (merged or None)
+
+
 @dataclass
-class NetprocExperiment:
-    """One sized network-processor instance ready to simulate.
+class ScenarioExperiment:
+    """One sized scenario instance ready to simulate.
 
     Attributes
     ----------
+    scenario:
+        The resolved :class:`~repro.scenarios.ScenarioSpec`.
     topology:
-        The 17-processor testbed.
+        The scenario's built topology.
     allocations:
         ``pre`` / ``post`` / ``timeout`` allocations (timeout shares the
         pre allocation).
     timeout_threshold:
-        Calibrated mean buffer waiting time.
+        Calibrated mean buffer waiting time, scaled by the scenario's
+        ``timeout_multiplier``.
     processors:
-        p1..p17 in numeric order.
+        Processor names in report order (numeric where names carry
+        numbers, lexicographic otherwise).
     """
 
+    scenario: ScenarioSpec
     topology: Topology
     allocations: Dict[str, BufferAllocation]
     timeout_threshold: float
     processors: list
 
-    #: Default timeout-threshold multiplier.  The paper fixes the
-    #: threshold at "the average time spent by a request in a buffer"
-    #: without saying how the average was measured; this value places
-    #: the timeout policy's total loss at roughly twice the CTMDP
-    #: configuration, the regime the paper's 50% claim implies.
-    TIMEOUT_MULTIPLIER = 6.0
-
     @classmethod
     def build(
         cls,
-        budget: int,
-        arch_seed: int = 2005,
+        scenario: Union[str, ScenarioSpec, None] = None,
+        budget: Optional[int] = None,
+        arch_seed: Optional[int] = None,
         load_scale: float = 1.0,
-        calibration_duration: float = 3_000.0,
+        calibration_duration: Optional[float] = None,
         sizer_kwargs: Optional[dict] = None,
         timeout_multiplier: Optional[float] = None,
         context: Optional[ExecutionContext] = None,
-    ) -> "NetprocExperiment":
-        """Size all three configurations for one budget.
+    ) -> "ScenarioExperiment":
+        """Size all three configurations of one scenario at one budget.
 
-        ``context`` routes the expensive CTMDP sizing run through the
-        execution runtime (content-addressed cache); the default is the
-        uncached direct call.
+        Every ``None`` argument falls back to the scenario's declared
+        default (budget, arch seed, calibration horizon, timeout
+        multiplier); ``sizer_kwargs`` are merged over the scenario's
+        own.  ``context`` routes the expensive CTMDP sizing run through
+        the execution runtime, scoped to the scenario's cache keys; the
+        default is an uncached direct call.
         """
+        spec, context, merged_sizer = scenario_setup(
+            scenario, context, sizer_kwargs
+        )
+        budget = spec.default_budget if budget is None else budget
         if budget < 1:
             raise ReproError(f"budget must be >= 1, got {budget}")
-        if context is None:
-            context = ExecutionContext()
-        topology = network_processor(seed=arch_seed, load_scale=load_scale)
+        seed = spec.arch_seed if arch_seed is None else arch_seed
+        topology = spec.topology(arch_seed=seed, load_scale=load_scale)
         pre_alloc = UniformSizing().allocate(topology, budget)
         post_alloc = context.size(
-            topology, budget, sizer_kwargs=sizer_kwargs
+            topology, budget, sizer_kwargs=merged_sizer
         ).allocation
         threshold = calibrate_timeout_threshold(
             topology,
             pre_alloc.as_capacities(),
-            duration=calibration_duration,
-            seed=arch_seed,
+            duration=(
+                spec.calibration_duration
+                if calibration_duration is None
+                else calibration_duration
+            ),
+            seed=seed,
             multiplier=(
-                cls.TIMEOUT_MULTIPLIER
+                spec.timeout_multiplier
                 if timeout_multiplier is None
                 else timeout_multiplier
             ),
+            backend=context.sim_backend,
         )
         return cls(
+            scenario=spec,
             topology=topology,
             allocations={
                 PRE: pre_alloc,
@@ -110,3 +147,37 @@ class NetprocExperiment:
     def timeout_thresholds(self) -> Dict[str, float]:
         """Per-configuration thresholds for the comparison harness."""
         return {TIMEOUT: self.timeout_threshold}
+
+
+class NetprocExperiment(ScenarioExperiment):
+    """The 17-processor testbed experiment (netproc-pinned alias).
+
+    The historical entry point: ``build`` keeps its original signature
+    (``budget`` first) and always resolves the ``netproc`` scenario.
+    The timeout-threshold multiplier that used to live here as a class
+    constant is now the netproc :class:`~repro.scenarios.ScenarioSpec`'s
+    ``timeout_multiplier``.
+    """
+
+    @classmethod
+    def build(  # type: ignore[override]
+        cls,
+        budget: int,
+        arch_seed: int = 2005,
+        load_scale: float = 1.0,
+        calibration_duration: float = 3_000.0,
+        sizer_kwargs: Optional[dict] = None,
+        timeout_multiplier: Optional[float] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> "NetprocExperiment":
+        """Size the three netproc configurations for one budget."""
+        return super().build(
+            scenario="netproc",
+            budget=budget,
+            arch_seed=arch_seed,
+            load_scale=load_scale,
+            calibration_duration=calibration_duration,
+            sizer_kwargs=sizer_kwargs,
+            timeout_multiplier=timeout_multiplier,
+            context=context,
+        )

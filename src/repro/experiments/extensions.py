@@ -17,15 +17,20 @@ The paper's own discussion motivates both:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_table
-from repro.arch.netproc import network_processor
-from repro.arch.topology import Topology
-from repro.arch.traffic import OnOffTraffic, PoissonTraffic
+from repro.arch.topology import (
+    Topology,
+    processor_names,
+    rebuilt_topology,
+)
+from repro.arch.traffic import OnOffTraffic
 from repro.errors import ReproError
 from repro.exec import ExecutionContext
+from repro.experiments.common import scenario_setup
 from repro.queueing.mg1 import gim1_tail_decay
+from repro.scenarios import ScenarioSpec
 
 
 def _burstify(topology: Topology, scv_target: float) -> Topology:
@@ -40,24 +45,8 @@ def _burstify(topology: Topology, scv_target: float) -> Topology:
         raise ReproError(
             f"on-off burstification needs target SCV > 1, got {scv_target}"
         )
-    rebuilt = Topology(f"{topology.name}-scv{scv_target:g}")
-    for bus in topology.buses.values():
-        rebuilt.add_bus(bus.name)
-    for link in topology.links:
-        rebuilt.add_link(link.bus_a, link.bus_b)
-    for bridge in topology.bridges.values():
-        rebuilt.add_bridge(
-            bridge.name,
-            bridge.bus_a,
-            bridge.bus_b,
-            service_rate=bridge.service_rate,
-            loss_weight=bridge.loss_weight,
-        )
-    for proc in topology.processors.values():
-        rebuilt.add_processor(
-            proc.name, proc.bus, proc.service_rate, proc.loss_weight
-        )
-    for flow in topology.flows.values():
+
+    def burstify_flow(flow):
         mean = flow.rate
         # Interrupted Poisson: SCV = 1 + 2 peak/(1/on + 1/off)/... use the
         # simple construction: peak = scv * mean, on-fraction = 1/scv.
@@ -65,14 +54,15 @@ def _burstify(topology: Topology, scv_target: float) -> Topology:
         on_fraction = 1.0 / scv_target
         mean_on = 1.0  # time units; burst length scale
         mean_off = mean_on * (1.0 - on_fraction) / on_fraction
-        rebuilt.add_flow(
-            flow.name,
-            flow.source,
-            flow.destination,
-            OnOffTraffic(peak_rate=peak, mean_on=mean_on, mean_off=mean_off),
+        return OnOffTraffic(
+            peak_rate=peak, mean_on=mean_on, mean_off=mean_off
         )
-    rebuilt.validate()
-    return rebuilt
+
+    return rebuilt_topology(
+        topology,
+        name=f"{topology.name}-scv{scv_target:g}",
+        flow_traffic=burstify_flow,
+    )
 
 
 @dataclass
@@ -101,19 +91,22 @@ class BurstinessResult:
 
 def run_burstiness(
     scv_levels: Sequence[float] = (2.0, 4.0),
-    budget: int = 160,
+    budget: Optional[int] = None,
     replications: int = 3,
     duration: float = 1_000.0,
-    arch_seed: int = 2005,
+    arch_seed: Optional[int] = None,
     sizer_kwargs: dict | None = None,
     context: Optional[ExecutionContext] = None,
+    scenario: Union[str, ScenarioSpec, None] = None,
 ) -> BurstinessResult:
     """E7: size Poisson, simulate bursty, report the degradation."""
     if not scv_levels:
         raise ReproError("need at least one SCV level")
-    if context is None:
-        context = ExecutionContext()
-    topology = network_processor(seed=arch_seed)
+    spec, context, sizer_kwargs = scenario_setup(
+        scenario, context, sizer_kwargs
+    )
+    topology = spec.topology(arch_seed=arch_seed)
+    budget = spec.default_budget if budget is None else budget
     allocation = context.size(
         topology, budget, sizer_kwargs=sizer_kwargs
     ).allocation
@@ -210,48 +203,52 @@ class WeightedLossResult:
 
 
 def run_weighted_loss(
-    critical: Sequence[str] = ("p1", "p16"),
+    critical: Optional[Sequence[str]] = None,
     weight: float = 8.0,
-    budget: int = 160,
+    budget: Optional[int] = None,
     replications: int = 3,
     duration: float = 1_000.0,
-    arch_seed: int = 2005,
+    arch_seed: Optional[int] = None,
     sizer_kwargs: dict | None = None,
     context: Optional[ExecutionContext] = None,
+    scenario: Union[str, ScenarioSpec, None] = None,
 ) -> WeightedLossResult:
-    """E8: weighted vs neutral CTMDP configurations (see class docstring)."""
+    """E8: weighted vs neutral CTMDP configurations (see class docstring).
+
+    ``critical`` defaults to the scenario's declared critical set
+    (netproc: p1 and p16), falling back to the first and last processor
+    in report order for scenarios that declare none.
+    """
     if weight <= 1.0:
         raise ReproError(f"critical weight should exceed 1, got {weight}")
-    if context is None:
-        context = ExecutionContext()
-    base = network_processor(seed=arch_seed)
+    spec, context, sizer_kwargs = scenario_setup(
+        scenario, context, sizer_kwargs
+    )
+    base = spec.topology(arch_seed=arch_seed)
+    budget = spec.default_budget if budget is None else budget
+    if critical is None:
+        if spec.critical_processors is not None:
+            critical = spec.critical_processors
+        else:
+            order = processor_names(base)
+            critical = tuple(dict.fromkeys((order[0], order[-1])))
+    unknown = [p for p in critical if p not in base.processors]
+    if unknown:
+        raise ReproError(
+            f"critical processors {unknown} not in scenario "
+            f"{spec.name!r}"
+        )
     unweighted_alloc = context.size(
         base, budget, sizer_kwargs=sizer_kwargs
     ).allocation
     # Rebuild with elevated loss weights on the critical processors.
-    weighted = Topology(f"{base.name}-weighted")
-    for bus in base.buses.values():
-        weighted.add_bus(bus.name)
-    for link in base.links:
-        weighted.add_link(link.bus_a, link.bus_b)
-    for bridge in base.bridges.values():
-        weighted.add_bridge(
-            bridge.name, bridge.bus_a, bridge.bus_b,
-            service_rate=bridge.service_rate,
-            loss_weight=bridge.loss_weight,
-        )
-    for proc in base.processors.values():
-        weighted.add_processor(
-            proc.name,
-            proc.bus,
-            proc.service_rate,
-            loss_weight=weight if proc.name in critical else proc.loss_weight,
-        )
-    for flow in base.flows.values():
-        weighted.add_flow(
-            flow.name, flow.source, flow.destination, flow.traffic
-        )
-    weighted.validate()
+    weighted = rebuilt_topology(
+        base,
+        name=f"{base.name}-weighted",
+        processor_loss_weight=lambda proc: (
+            weight if proc.name in critical else proc.loss_weight
+        ),
+    )
     weighted_alloc = context.size(
         weighted, budget, sizer_kwargs=sizer_kwargs
     ).allocation

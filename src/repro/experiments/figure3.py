@@ -5,25 +5,36 @@ loss before buffer sizing (constant allocation), after CTMDP resizing,
 and under the timeout policy.  The expected *shape*: post-sizing bars
 mostly below pre-sizing, a few processors slightly worse (the paper's
 processor 1), the timeout policy worst in aggregate.
+
+The driver is scenario-generic: ``scenario=`` regenerates the same
+figure on any registered scenario (the default is the paper's netproc
+testbed).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.analysis.loss import PolicyComparison, compare_policies
 from repro.analysis.report import bar_chart, format_table
 from repro.analysis.stats import relative_improvement
 from repro.exec import ExecutionContext
-from repro.experiments.common import POST, PRE, TIMEOUT, NetprocExperiment
+from repro.experiments.common import (
+    POST,
+    PRE,
+    TIMEOUT,
+    ScenarioExperiment,
+    scenario_setup,
+)
+from repro.scenarios import ScenarioSpec
 
 
 @dataclass
 class Figure3Result:
     """The reproduced Figure 3."""
 
-    experiment: NetprocExperiment
+    experiment: ScenarioExperiment
     comparison: PolicyComparison
     budget: int
 
@@ -50,7 +61,8 @@ class Figure3Result:
             categories=self.experiment.processors,
             width=width,
             title=(
-                f"Figure 3 — per-processor mean loss "
+                f"Figure 3 [{self.experiment.scenario.name}] — "
+                f"per-processor mean loss "
                 f"(budget={self.budget}, "
                 f"{self.comparison.summaries[PRE].num_replications} reps)"
             ),
@@ -74,24 +86,39 @@ class Figure3Result:
 
 
 def run_figure3(
-    budget: int = 160,
-    duration: float = 3_000.0,
-    replications: int = 10,
-    arch_seed: int = 2005,
+    budget: Optional[int] = None,
+    duration: Optional[float] = None,
+    replications: Optional[int] = None,
+    arch_seed: Optional[int] = None,
     base_seed: int = 0,
     sizer_kwargs: dict | None = None,
     context: Optional[ExecutionContext] = None,
+    scenario: Union[str, ScenarioSpec, None] = None,
 ) -> Figure3Result:
-    """Regenerate Figure 3 on the synthetic network processor.
+    """Regenerate Figure 3 on one scenario (default: netproc).
 
-    ``context`` routes the sizing run and the three replication batches
-    through the execution runtime (process pool + result cache).
+    ``budget``/``duration``/``replications``/``arch_seed`` default to
+    the scenario's declared values (netproc: 160, 3000, 10, 2005 — the
+    paper configuration).  ``context`` routes the sizing run and the
+    three replication batches through the execution runtime (process
+    pool + result cache), with cache keys scoped to the scenario.
     """
-    experiment = NetprocExperiment.build(
+    # build() re-runs the same prologue on the resolved spec/scoped
+    # context/merged sizer; scenario_setup is idempotent on its own
+    # outputs, so both call sites stay in lockstep by construction.
+    spec, context, sizer_kwargs = scenario_setup(
+        scenario, context, sizer_kwargs
+    )
+    experiment = ScenarioExperiment.build(
+        scenario=spec,
         budget=budget,
         arch_seed=arch_seed,
         sizer_kwargs=sizer_kwargs,
         context=context,
+    )
+    duration = spec.default_duration if duration is None else duration
+    replications = (
+        spec.default_replications if replications is None else replications
     )
     comparison = compare_policies(
         experiment.topology,
@@ -104,5 +131,7 @@ def run_figure3(
         context=context,
     )
     return Figure3Result(
-        experiment=experiment, comparison=comparison, budget=budget
+        experiment=experiment,
+        comparison=comparison,
+        budget=experiment.allocations[PRE].total,
     )

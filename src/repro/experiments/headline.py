@@ -50,14 +50,15 @@ class HeadlineResult:
 
 
 def run_headline(
-    budget: int = 160,
-    duration: float = 3_000.0,
-    replications: int = 10,
-    arch_seed: int = 2005,
+    budget: int | None = None,
+    duration: float | None = None,
+    replications: int | None = None,
+    arch_seed: int | None = None,
     base_seed: int = 0,
     sizer_kwargs: dict | None = None,
+    scenario=None,
 ) -> HeadlineResult:
-    """Compute the aggregate improvements on the network processor."""
+    """Compute the aggregate improvements on one scenario (default netproc)."""
     figure3 = run_figure3(
         budget=budget,
         duration=duration,
@@ -65,6 +66,7 @@ def run_headline(
         arch_seed=arch_seed,
         base_seed=base_seed,
         sizer_kwargs=sizer_kwargs,
+        scenario=scenario,
     )
     pre = figure3.comparison.per_processor(PRE)
     post = figure3.comparison.per_processor(POST)

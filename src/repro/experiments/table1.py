@@ -9,19 +9,20 @@ worse, and (b) post-sizing losses fall with budget and reach zero at 640.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.loss import PolicyComparison, compare_policies
 from repro.analysis.report import format_table
-from repro.arch.netproc import network_processor, processor_names
+from repro.arch.topology import processor_names
 from repro.errors import ReproError
 from repro.exec import ExecutionContext
-from repro.experiments.common import POST, PRE
+from repro.experiments.common import POST, PRE, scenario_setup
 from repro.policies.uniform import UniformSizing
+from repro.scenarios import ScenarioSpec
 
 #: The processors the paper's table displays.
 PAPER_PROCESSORS = ("p1", "p4", "p15", "p16")
-#: The paper's budget axis.
+#: The paper's budget axis (the netproc scenario's declared axis).
 PAPER_BUDGETS = (160, 320, 640)
 
 
@@ -32,6 +33,7 @@ class Table1Result:
     budgets: List[int]
     comparisons: Dict[int, PolicyComparison]
     processors: List[str]
+    scenario: str = "netproc"
 
     def cell(self, budget: int, processor: str, config: str) -> float:
         """Mean loss count for one (budget, processor, pre/post) cell."""
@@ -47,8 +49,20 @@ class Table1Result:
             raise ReproError(f"budget {budget} was not swept")
         return self.comparisons[budget].mean_total_loss(config)
 
-    def render(self, processors: Sequence[str] = PAPER_PROCESSORS) -> str:
-        """ASCII reproduction of Table 1 (pre/post per budget)."""
+    def render(self, processors: Optional[Sequence[str]] = None) -> str:
+        """ASCII reproduction of Table 1 (pre/post per budget).
+
+        The paper's four-processor row subset applies only to the
+        netproc scenario it was written about; every other scenario
+        shows all of its processors by default (name collisions like
+        fig1's p1/p4 must not silently truncate the table).
+        """
+        if processors is None:
+            processors = (
+                PAPER_PROCESSORS
+                if self.scenario == "netproc"
+                else self.processors
+            )
         headers = ["PROCESSOR"]
         for budget in self.budgets:
             headers += [f"Buf {budget} pre", f"Buf {budget} post"]
@@ -70,27 +84,39 @@ class Table1Result:
 
 
 def run_table1(
-    budgets: Sequence[int] = PAPER_BUDGETS,
-    duration: float = 3_000.0,
-    replications: int = 10,
-    arch_seed: int = 2005,
+    budgets: Optional[Sequence[int]] = None,
+    duration: Optional[float] = None,
+    replications: Optional[int] = None,
+    arch_seed: Optional[int] = None,
     base_seed: int = 0,
     sizer_kwargs: dict | None = None,
     context: Optional[ExecutionContext] = None,
+    scenario: Union[str, ScenarioSpec, None] = None,
 ) -> Table1Result:
     """Sweep the total budget and compare pre/post losses.
 
-    The CTMDP sizings run through the execution runtime's budget-sweep
-    scheduler: consecutive budgets warm-start each other's bridge fixed
-    point (disable via the context's ``warm_start=False``), results are
-    memoised in the context's cache, and the replication batches of
-    every budget fan out over the context's process pool.
+    ``scenario`` selects the architecture (default: netproc, whose
+    declared budget axis is the paper's 160/320/640); ``budgets``,
+    ``duration``, ``replications`` and ``arch_seed`` default to the
+    scenario's values.  The CTMDP sizings run through the execution
+    runtime's budget-sweep scheduler: consecutive budgets warm-start
+    each other's bridge fixed point (disable via the context's
+    ``warm_start=False``), results are memoised in the context's cache
+    under scenario-scoped keys, and the replication batches of every
+    budget fan out over the context's process pool.
     """
+    spec, context, sizer_kwargs = scenario_setup(
+        scenario, context, sizer_kwargs
+    )
+    if budgets is None:
+        budgets = spec.budgets
     if not budgets:
         raise ReproError("table 1 needs at least one budget")
-    if context is None:
-        context = ExecutionContext()
-    topology = network_processor(seed=arch_seed)
+    duration = spec.default_duration if duration is None else duration
+    replications = (
+        spec.default_replications if replications is None else replications
+    )
+    topology = spec.topology(arch_seed=arch_seed)
     processors = processor_names(topology)
     budget_list = [int(b) for b in budgets]
     sweep = context.sweep(topology, budget_list, sizer_kwargs=sizer_kwargs)
@@ -112,4 +138,5 @@ def run_table1(
         budgets=budget_list,
         comparisons=comparisons,
         processors=processors,
+        scenario=spec.name,
     )

@@ -23,6 +23,7 @@ def calibrate_timeout_threshold(
     seed: int = 0,
     floor: float = 1e-6,
     multiplier: float = 1.0,
+    backend: str = "heap",
 ) -> float:
     """Mean buffer waiting time of a calibration simulation.
 
@@ -33,6 +34,10 @@ def calibrate_timeout_threshold(
         pre-sizing allocation).
     duration / seed:
         Calibration run controls.
+    backend:
+        Simulation engine for the calibration run (see
+        :data:`repro.sim.runner.SIM_BACKENDS`); the experiment drivers
+        pass their context's backend through.
     floor:
         Lower bound to keep the threshold usable when the calibration
         sees almost no queueing.
@@ -49,6 +54,6 @@ def calibrate_timeout_threshold(
     if multiplier <= 0:
         raise PolicyError(f"multiplier must be > 0, got {multiplier}")
     result = simulate(
-        topology, capacities, duration=duration, seed=seed
+        topology, capacities, duration=duration, seed=seed, backend=backend
     )
     return max(result.mean_waiting_time * multiplier, floor)

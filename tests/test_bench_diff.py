@@ -1,0 +1,132 @@
+"""Tests for the CI bench-diff tripwire (benchmarks/diff_bench.py)."""
+
+import json
+
+import pytest
+
+from benchmarks.diff_bench import find_regressions, main, throughput_of
+
+
+def _bench(name, mean=None, eps=None):
+    entry = {"fullname": name, "stats": {}, "extra_info": {}}
+    if mean is not None:
+        entry["stats"]["mean"] = mean
+    if eps is not None:
+        entry["extra_info"]["events_per_second"] = eps
+    return entry
+
+
+def _report(*benches):
+    return {"benchmarks": list(benches)}
+
+
+class TestThroughputOf:
+    def test_prefers_events_per_second(self):
+        assert throughput_of(_bench("a", mean=2.0, eps=1000)) == (
+            "events_per_second", 1000.0,
+        )
+
+    def test_falls_back_to_reciprocal_mean(self):
+        metric, value = throughput_of(_bench("a", mean=0.5))
+        assert metric == "1/mean"
+        assert value == pytest.approx(2.0)
+
+    def test_malformed_entry_is_none(self):
+        assert throughput_of({"fullname": "a"}) is None
+        assert throughput_of(_bench("a", mean=0.0)) is None
+
+
+class TestFindRegressions:
+    def test_flags_events_per_second_drop(self):
+        prev = _report(_bench("sim", eps=1000, mean=1.0))
+        curr = _report(_bench("sim", eps=800, mean=1.0))
+        found = find_regressions(prev, curr, threshold=0.15)
+        assert [r.name for r in found] == ["sim"]
+        assert found[0].metric == "events_per_second"
+        assert found[0].drop == pytest.approx(0.2)
+        assert "::warning" in found[0].annotation()
+
+    def test_within_threshold_is_quiet(self):
+        prev = _report(_bench("sim", eps=1000))
+        curr = _report(_bench("sim", eps=900))
+        assert find_regressions(prev, curr, threshold=0.15) == []
+
+    def test_flags_wall_time_regression(self):
+        prev = _report(_bench("sizing", mean=1.0))
+        curr = _report(_bench("sizing", mean=1.5))
+        found = find_regressions(prev, curr, threshold=0.15)
+        assert [r.name for r in found] == ["sizing"]
+        assert found[0].metric == "1/mean"
+
+    def test_improvement_is_quiet(self):
+        prev = _report(_bench("sim", eps=1000))
+        curr = _report(_bench("sim", eps=2000))
+        assert find_regressions(prev, curr, threshold=0.15) == []
+
+    def test_added_and_removed_benches_skipped(self):
+        prev = _report(_bench("old", mean=1.0))
+        curr = _report(_bench("new", mean=10.0))
+        assert find_regressions(prev, curr, threshold=0.15) == []
+
+    def test_metric_mismatch_skipped(self):
+        # A bench that gained events/s reporting cannot be compared to
+        # its wall-time-only past.
+        prev = _report(_bench("sim", mean=1.0))
+        curr = _report(_bench("sim", mean=5.0, eps=100))
+        assert find_regressions(prev, curr, threshold=0.15) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            find_regressions(_report(), _report(), threshold=0.0)
+
+
+class TestMain:
+    def _write(self, path, report):
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_warning_only_by_default(self, tmp_path, capsys):
+        prev = self._write(
+            tmp_path / "prev.json", _report(_bench("sim", eps=1000))
+        )
+        curr = self._write(
+            tmp_path / "curr.json", _report(_bench("sim", eps=100))
+        )
+        assert main([prev, curr]) == 0
+        out = capsys.readouterr().out
+        assert "::warning" in out
+        assert "1 regression(s)" in out
+
+    def test_strict_exits_nonzero(self, tmp_path, capsys):
+        prev = self._write(
+            tmp_path / "prev.json", _report(_bench("sim", eps=1000))
+        )
+        curr = self._write(
+            tmp_path / "curr.json", _report(_bench("sim", eps=100))
+        )
+        assert main([prev, curr, "--strict"]) == 1
+
+    def test_corrupt_baseline_skips_instead_of_crashing(
+        self, tmp_path, capsys
+    ):
+        prev = tmp_path / "prev.json"
+        prev.write_text('{"benchmarks": [truncated')
+        curr = self._write(
+            tmp_path / "curr.json", _report(_bench("sim", eps=1000))
+        )
+        assert main([str(prev), curr, "--strict"]) == 0
+        assert "skipping diff" in capsys.readouterr().out
+        assert main([str(tmp_path / "missing.json"), curr]) == 0
+        assert "skipping diff" in capsys.readouterr().out
+
+    def test_clean_diff(self, tmp_path, capsys):
+        prev = self._write(
+            tmp_path / "prev.json", _report(_bench("sim", eps=1000))
+        )
+        curr = self._write(
+            tmp_path / "curr.json", _report(_bench("sim", eps=1001))
+        )
+        assert main([prev, curr, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "::warning" not in out
+        assert "0 regression(s)" in out

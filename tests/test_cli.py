@@ -19,9 +19,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_size_requires_budget(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["size", "arch.soc"])
+    def test_size_file_requires_budget(self, arch_file, capsys):
+        # --budget is only optional with --scenario (the scenario's
+        # declared default applies); architecture files must pass one.
+        assert main(["size", arch_file]) == 2
+        assert "--budget" in capsys.readouterr().err
 
     def test_policy_choices(self):
         args = build_parser().parse_args(
@@ -126,12 +128,14 @@ class TestRuntimeFlags:
             "simulate", arch_file, "--budget", "12",
             "--policy", "uniform", "--duration", "200", "--reps", "2",
         ]
+        # The default is the batched array lane; --sim-backend heap is
+        # the reference-engine escape hatch.  The default longest-queue
+        # arbiter is deterministic, so the two must report
+        # byte-identical statistics.
         assert main(base) == 0
-        heap_out = capsys.readouterr().out
-        # The default longest-queue arbiter is deterministic, so the
-        # batched lane must report byte-identical statistics.
-        assert main(base + ["--sim-backend", "batched"]) == 0
-        assert capsys.readouterr().out == heap_out
+        batched_out = capsys.readouterr().out
+        assert main(base + ["--sim-backend", "heap"]) == 0
+        assert capsys.readouterr().out == batched_out
 
     def test_sim_backend_choices_enforced(self, arch_file):
         with pytest.raises(SystemExit):

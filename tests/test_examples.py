@@ -1,0 +1,90 @@
+"""Smoke tests for ``examples/``: import and run each one, fast.
+
+Every example exposes its experiment knobs as module-level constants
+(``BUDGET``, ``DURATION``, ``REPLICATIONS``, ``SIZER_KWARGS``, ...);
+the smoke test loads the module by path, patches the knobs down to a
+tiny configuration (short horizons, one replication, capped joint state
+spaces) and runs ``main()`` — so an example that drifts out of sync
+with the library API fails the suite instead of silently rotting.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Knob overrides making each example run in a couple of seconds.
+FAST_SIZER = {"joint_state_limit": 300}
+FAST_KNOBS = {
+    "quickstart.py": {
+        "DURATION": 200.0,
+        "REPLICATIONS": 1,
+    },
+    "bridged_amba.py": {
+        "DURATION": 300.0,
+    },
+    "network_processor.py": {
+        "BUDGET": 80,
+        "DURATION": 150.0,
+        "REPLICATIONS": 1,
+        "SIZER_KWARGS": FAST_SIZER,
+    },
+    "policy_comparison.py": {
+        "BUDGET": 80,
+        "LOADS": (1.0,),
+        "REPLICATIONS": 1,
+        "DURATION": 150.0,
+        "SIZER_KWARGS": FAST_SIZER,
+    },
+    "profiled_traffic.py": {
+        "BUDGET": 80,
+        "DURATION": 150.0,
+        "REPLICATIONS": 1,
+        "TRACE_SAMPLES": 2_000,
+        "SIZER_KWARGS": FAST_SIZER,
+    },
+}
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(filename: str):
+    """Import one example script as a throwaway module."""
+    path = EXAMPLES_DIR / filename
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/pickling inside the example resolve.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(spec.name, None)
+        raise
+    return module
+
+
+def test_every_example_has_fast_knobs():
+    """A new example must declare its fast-mode overrides here."""
+    assert EXAMPLES == sorted(FAST_KNOBS)
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename, capsys):
+    module = _load_example(filename)
+    try:
+        assert hasattr(module, "main"), f"{filename} must define main()"
+        for knob, value in FAST_KNOBS[filename].items():
+            assert hasattr(module, knob), (
+                f"{filename} no longer exposes {knob}; update FAST_KNOBS"
+            )
+            setattr(module, knob, value)
+        module.main()
+    finally:
+        sys.modules.pop(module.__name__, None)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{filename} printed nothing"

@@ -368,8 +368,14 @@ class TestCacheEviction:
 class TestSimBackendThreading:
     """ExecutionContext.sim_backend reaches replicate() and cache keys."""
 
+    def test_default_backend_is_batched(self):
+        # Promoted to the experiment default after soaking (heap stays
+        # the reference engine, selected via sim_backend="heap").
+        assert ExecutionContext().sim_backend == "batched"
+        assert ExecutionContext.create().sim_backend == "batched"
+
     def test_backend_injected_into_replication(self, amba, amba_caps):
-        heap_ctx = ExecutionContext.create()
+        heap_ctx = ExecutionContext.create(sim_backend="heap")
         batched_ctx = ExecutionContext.create(sim_backend="batched")
         a = heap_ctx.replicate(
             amba, amba_caps, replications=2, duration=120.0
@@ -381,7 +387,9 @@ class TestSimBackendThreading:
         assert a.results == b.results
 
     def test_backend_is_part_of_cache_key(self, tmp_path, amba, amba_caps):
-        heap_ctx = ExecutionContext.create(cache_dir=tmp_path)
+        heap_ctx = ExecutionContext.create(
+            cache_dir=tmp_path, sim_backend="heap"
+        )
         heap_ctx.replicate(amba, amba_caps, replications=2, duration=120.0)
         batched_ctx = ExecutionContext.create(
             cache_dir=tmp_path, sim_backend="batched"
