@@ -1,0 +1,54 @@
+"""Benchmark for the distributed queue (repro.dist) overhead.
+
+``bench_dist_overhead`` measures the pure round-trip cost of the
+broker/worker path — trivial ``echo`` jobs through an in-process broker
+and two local worker processes — so the queue's per-job overhead is
+visible in ``BENCH_quick.json`` next to the throughput numbers it must
+stay small against.  The equivalence assert (ordered merge equals the
+serial list) rides along like in every other bench.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.dist import BrokerServer, DistExecutor, worker_loop
+from repro.dist.jobs import echo
+
+#: Trivial jobs per measured map call.
+JOBS_PER_CALL = 32
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    server = BrokerServer(port=0, lease_timeout=30.0).start_in_thread()
+    context = multiprocessing.get_context()
+    workers = [
+        context.Process(
+            target=worker_loop,
+            args=(server.address,),
+            kwargs=dict(poll_interval=0.005),
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    executor = DistExecutor(
+        server.address, poll_interval=0.005, timeout=120
+    )
+    executor.map(echo, [0])  # connect + let the workers spin up
+    yield executor
+    for worker in workers:
+        worker.terminate()
+    server.stop()
+
+
+def test_bench_dist_overhead(benchmark, fleet):
+    """Round-trips per second of the work-stealing queue (echo jobs)."""
+    items = list(range(JOBS_PER_CALL))
+    result = benchmark(lambda: fleet.map(echo, items))
+    assert result == items  # the ordered-merge contract, measured path
+    benchmark.extra_info["jobs_per_call"] = JOBS_PER_CALL
+    stats = fleet.stats()
+    benchmark.extra_info["steals"] = stats["steals"]

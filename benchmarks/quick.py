@@ -2,9 +2,11 @@
 
 Runs the simulator/sizing throughput benchmarks (both simulation
 backends, grouped per function so the heap-vs-batched ratio reads off
-the table directly), the compiled-kernel micro-benches, and the
+the table directly), the compiled-kernel micro-benches, the
 execution-runtime benches (serial vs pooled replications, cold vs warm
-sweeps) with ``--benchmark-min-rounds=3`` — a couple of minutes, meant
+sweeps), and the distributed-queue overhead bench
+(``bench_dist_overhead``) with ``--benchmark-min-rounds=3`` — a couple
+of minutes, meant
 to run on every PR so perf regressions in the hot paths are visible
 immediately.  ``make bench-quick`` wraps this module; CI passes
 ``--benchmark-json`` through ``BENCH_ARGS`` and uploads the result so
@@ -25,6 +27,7 @@ def main() -> int:
         str(bench_dir / "bench_sim_throughput.py"),
         str(bench_dir / "bench_compiled_kernels.py"),
         str(bench_dir / "bench_exec_runtime.py"),
+        str(bench_dir / "bench_dist.py"),
         "--benchmark-min-rounds=3",
         # Group by (explicit group, function): the scenario-parametrized
         # simulator benches set one group per scenario, so heap vs

@@ -13,6 +13,10 @@ script entry point)::
     python -m repro.cli figure3 --scenario coreconnect --reps 3
     python -m repro.cli table1 --duration 800 --reps 3
     python -m repro.cli table1 --jobs 4 --cache-dir .repro-cache
+    python -m repro.cli dist serve --port 7070
+    python -m repro.cli dist worker HOST:7070 --cache-dir .repro-cache
+    python -m repro.cli dist run --dist HOST:7070 --scenario amba \
+        --scenario fig1 --reps 5 --verify-local
 
 ``ARCH.soc`` files use the textual DSL of :mod:`repro.arch.dsl`; the
 ``--scenario`` flag resolves a named scenario from the
@@ -86,6 +90,15 @@ def _resolve_architecture(args: argparse.Namespace):
     return _load_topology(arch), None, budget
 
 
+def _progress_printer():
+    """A ``progress(kind, key)`` observer printing one stderr line each."""
+
+    def emit(kind, key):
+        print(f"progress: {kind} {key} done", file=sys.stderr, flush=True)
+
+    return emit
+
+
 def _context_from_args(
     args: argparse.Namespace, spec=None
 ) -> ExecutionContext:
@@ -99,6 +112,13 @@ def _context_from_args(
         warm_start=not getattr(args, "no_warm_start", False),
         sim_backend=getattr(args, "sim_backend", "batched"),
         cache_max_mb=getattr(args, "cache_max_mb", None),
+        dist=getattr(args, "dist", None),
+        dist_authkey=getattr(args, "authkey", None),
+        progress=(
+            _progress_printer()
+            if getattr(args, "progress", False)
+            else None
+        ),
     )
     return context.scoped(spec) if spec is not None else context
 
@@ -137,6 +157,26 @@ def _add_runtime_flags(
         "event loop (bitwise-identical fixed-seed metrics for "
         "deterministic arbiters, statistically equivalent for "
         "randomised ones)",
+    )
+    parser.add_argument(
+        "--dist",
+        default=None,
+        metavar="HOST:PORT",
+        help="fan replication batches (and cold sweep points) over the "
+        "'repro dist serve' broker at this address instead of the "
+        "local pool; results are identical (see docs/distributed.md)",
+    )
+    parser.add_argument(
+        "--authkey",
+        default=None,
+        help="shared fleet secret for --dist (must match 'repro dist "
+        "serve'; default: the fleet default)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one stderr line per completed replication / sweep "
+        "point (long local sweeps, fleet runs)",
     )
     if warm_start:
         parser.add_argument(
@@ -195,6 +235,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     for family in scenarios.families():
         print(f"  {family.pattern}")
         print(f"      {family.description}")
+        if family.grammar:
+            print(f"      parameters: {family.grammar}")
+        if family.example:
+            # Resolve the example live so the listing shows a real
+            # member (and breaks loudly if the example ever rots).
+            spec = scenarios.get(family.example)
+            print(
+                f"      example: {spec.name} — {spec.description} "
+                f"(default budget {spec.default_budget})"
+            )
     return 0
 
 
@@ -263,6 +313,136 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         scenario=args.scenario,
     )
     print(result.render())
+    return 0
+
+
+def _cmd_dist_serve(args: argparse.Namespace) -> int:
+    """Run the broker (work-stealing queue + shared cache store)."""
+    from repro.dist import BrokerServer
+
+    server = BrokerServer(
+        host=args.host,
+        port=args.port,
+        authkey=args.authkey.encode("utf-8"),
+        lease_timeout=args.lease_timeout,
+        cache_max_bytes=int(args.cache_max_mb * 1024 * 1024),
+    )
+    host, port = server.address
+    print(f"repro dist broker listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    """Serve jobs from a broker until idle-timeout (or forever)."""
+    from repro.dist import worker_loop
+
+    cache_max_bytes = (
+        int(args.cache_max_mb * 1024 * 1024)
+        if args.cache_max_mb is not None
+        else None
+    )
+    if cache_max_bytes is not None and args.cache_dir is None:
+        raise ReproError("--cache-max-mb requires --cache-dir")
+    executed = worker_loop(
+        args.address,
+        authkey=args.authkey.encode("utf-8"),
+        cache_dir=args.cache_dir,
+        cache_max_bytes=cache_max_bytes,
+        prefetch=args.prefetch,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+    )
+    print(f"worker exiting after {executed} job(s)", flush=True)
+    return 0
+
+
+def _cmd_dist_run(args: argparse.Namespace) -> int:
+    """Run a scenario×budget×replication matrix (fleet or local)."""
+    from repro.dist import DistExecutor, run_matrix
+
+    scenario_names = args.scenario or [scenarios.DEFAULT_SCENARIO]
+    budgets = None
+    if args.budgets:
+        try:
+            budgets = [int(part) for part in args.budgets.split(",")]
+        except ValueError:
+            raise ReproError(
+                f"invalid --budgets value {args.budgets!r}; expected "
+                f"comma-separated integers like 8,16,24"
+            )
+    executor = None
+    if args.dist:
+        executor = DistExecutor(
+            args.dist,
+            authkey=args.authkey.encode("utf-8"),
+            timeout=args.timeout,
+        )
+
+    def stream(index, block):
+        print(
+            f"progress: block {index} done "
+            f"({block.scenario} budget {block.budget} "
+            f"reps {block.start}..{block.stop - 1})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    matrix_kwargs = dict(
+        budgets=budgets,
+        replications=args.reps,
+        duration=args.duration,
+        base_seed=args.seed,
+        seed_scheme=args.seed_scheme,
+        sim_backend=args.sim_backend,
+        block_reps=args.block_reps,
+    )
+    # Broker counters are lifetime-cumulative (the broker is long-
+    # lived and shared); snapshot them so the summary reports *this
+    # run's* jobs/steals/cache traffic, not history.
+    stats_before = executor.stats() if executor is not None else None
+    cache_before = executor.cache_stats() if executor is not None else None
+    outcome = run_matrix(
+        scenario_names,
+        jobs=args.jobs,
+        executor=executor,
+        on_result=stream if args.progress else None,
+        **matrix_kwargs,
+    )
+    if args.verify_local:
+        # The acceptance contract, end to end: the distributed (or
+        # pooled) run must merge bitwise-identically to the serial
+        # reference loop.
+        reference = run_matrix(scenario_names, jobs=1, **matrix_kwargs)
+        if outcome.to_jsonable() != reference.to_jsonable():
+            raise ReproError(
+                "distributed matrix result differs from the serial "
+                "reference — determinism contract violated"
+            )
+        print("verify-local: merged results bitwise-identical to serial")
+    print(outcome.render())
+    if executor is not None:
+        stats = executor.stats()
+        cache_stats = executor.cache_stats()
+        print(
+            f"# fleet: "
+            f"{stats['completed'] - stats_before['completed']} job(s) "
+            f"completed, {stats['steals'] - stats_before['steals']} "
+            f"steal(s), "
+            f"{stats['reaped_jobs'] - stats_before['reaped_jobs']} "
+            f"re-enqueued; shared cache "
+            f"{cache_stats['hits'] - cache_before['hits']}/"
+            f"{cache_stats['gets'] - cache_before['gets']} hit(s), "
+            f"{cache_stats['entries']} entr(ies)"
+        )
+    if args.json:
+        outcome.write_json(args.json)
+        print(f"# wrote {args.json}")
     return 0
 
 
@@ -355,6 +535,119 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig3.add_argument("--reps", type=int, default=5)
     _add_runtime_flags(p_fig3)
     p_fig3.set_defaults(func=_cmd_figure3)
+
+    p_dist = sub.add_parser(
+        "dist",
+        help="distributed execution: broker, workers, fleet matrix runs",
+    )
+    dist_sub = p_dist.add_subparsers(dest="dist_command", required=True)
+
+    p_serve = dist_sub.add_parser(
+        "serve", help="run the work-stealing broker + shared cache store"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7070,
+        help="TCP port (0 = ephemeral; the bound address is printed)",
+    )
+    p_serve.add_argument(
+        "--authkey", default="repro-dist",
+        help="shared fleet secret (must match workers and drivers)",
+    )
+    p_serve.add_argument(
+        "--lease-timeout", type=float, default=10.0,
+        help="seconds without a heartbeat before a worker is declared "
+        "dead and its jobs are re-enqueued",
+    )
+    p_serve.add_argument(
+        "--cache-max-mb", type=float, default=256.0,
+        help="bound of the broker's in-memory shared cache store (MiB)",
+    )
+    p_serve.set_defaults(func=_cmd_dist_serve)
+
+    p_worker = dist_sub.add_parser(
+        "worker", help="serve jobs from a broker on this host"
+    )
+    p_worker.add_argument("address", help="broker address (host:port)")
+    p_worker.add_argument("--authkey", default="repro-dist")
+    p_worker.add_argument(
+        "--cache-dir", default=None,
+        help="optional local disk tier under the shared cache",
+    )
+    p_worker.add_argument(
+        "--cache-max-mb", type=float, default=None,
+        help="LRU bound of the local tier (requires --cache-dir)",
+    )
+    p_worker.add_argument(
+        "--prefetch", type=int, default=2,
+        help="jobs leased per pull (the surplus is stealable by idle "
+        "peers)",
+    )
+    p_worker.add_argument("--poll-interval", type=float, default=0.1)
+    p_worker.add_argument(
+        "--max-idle", type=float, default=None,
+        help="exit after this many seconds without work (default: "
+        "serve forever)",
+    )
+    p_worker.set_defaults(func=_cmd_dist_worker)
+
+    p_run = dist_sub.add_parser(
+        "run",
+        help="run a scenario×budget×replication matrix on a fleet "
+        "(or locally without --dist)",
+    )
+    p_run.add_argument(
+        "--dist", default=None, metavar="HOST:PORT",
+        help="broker to fan the matrix over (omit to run locally)",
+    )
+    p_run.add_argument("--authkey", default="repro-dist")
+    p_run.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to include (repeatable; default: netproc)",
+    )
+    p_run.add_argument(
+        "--budgets", default=None,
+        help="comma-separated budget axis applied to every scenario "
+        "(default: each scenario's declared axis)",
+    )
+    p_run.add_argument("--reps", type=int, default=3)
+    p_run.add_argument("--duration", type=float, default=500.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--seed-scheme", choices=("legacy", "spawn"), default="legacy"
+    )
+    p_run.add_argument(
+        "--sim-backend", choices=("heap", "batched"), default="batched"
+    )
+    p_run.add_argument(
+        "--block-reps", type=int, default=1,
+        help="replications per job block (smaller = more stealable "
+        "blocks sharing each cell's cached sizing)",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="local pool width when --dist is omitted",
+    )
+    p_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="overall bound on the fleet run (error instead of hanging "
+        "when no worker is connected)",
+    )
+    p_run.add_argument(
+        "--verify-local", action="store_true",
+        help="re-run the matrix serially in-process and assert the "
+        "merged results are bitwise-identical (the determinism "
+        "contract, end to end)",
+    )
+    p_run.add_argument(
+        "--progress", action="store_true",
+        help="stream one stderr line per completed block",
+    )
+    p_run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the canonical JSON artifact of the run",
+    )
+    p_run.set_defaults(func=_cmd_dist_run)
 
     p_tab1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     _add_scenario_flag(p_tab1)

@@ -1,0 +1,58 @@
+"""``repro.dist`` — distributed work-stealing execution for fleets.
+
+The experiment surface (scenarios × budgets × replications × policies)
+is embarrassingly parallel but :mod:`repro.exec.pool` is pinned to one
+host.  This package scales the same job payloads over many hosts with
+the same determinism contract — a distributed run merges to
+bitwise-identical results vs the serial/pooled local paths, regardless
+of worker count, steal order, or worker death mid-job:
+
+* :mod:`repro.dist.queue` — the broker: a work-stealing job queue over
+  TCP (stdlib ``multiprocessing.managers``; no new dependencies) with
+  heartbeats, dead-worker reaping and the shared cache store;
+* :mod:`repro.dist.worker` — the worker loop (``repro dist worker``);
+* :mod:`repro.dist.executor` — :class:`DistExecutor`, the driver-side
+  handle that plugs into :class:`~repro.exec.ExecutionContext` behind
+  the same interface as the local pool;
+* :mod:`repro.dist.cachetier` — the read-through/write-through shared
+  cache tier layered over :class:`~repro.exec.ResultCache`;
+* :mod:`repro.dist.fleet` — the fleet driver (``repro dist run``)
+  enumerating registry scenarios into a job matrix.
+
+See ``docs/distributed.md`` for the protocol and the contracts.
+"""
+
+from repro.dist.cachetier import CacheTier
+from repro.dist.executor import DistExecutor
+from repro.dist.fleet import FleetCell, FleetOutcome, build_matrix, run_matrix
+from repro.dist.queue import (
+    DEFAULT_AUTHKEY,
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_PORT,
+    Broker,
+    BrokerServer,
+    JobFailure,
+    JobPayload,
+    connect,
+    parse_address,
+)
+from repro.dist.worker import worker_loop
+
+__all__ = [
+    "Broker",
+    "BrokerServer",
+    "CacheTier",
+    "DEFAULT_AUTHKEY",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_PORT",
+    "DistExecutor",
+    "FleetCell",
+    "FleetOutcome",
+    "JobFailure",
+    "JobPayload",
+    "build_matrix",
+    "connect",
+    "parse_address",
+    "run_matrix",
+    "worker_loop",
+]

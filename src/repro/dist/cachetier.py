@@ -1,0 +1,137 @@
+"""Shared read-through/write-through cache tier over the broker store.
+
+A :class:`CacheTier` presents the exact interface
+:class:`repro.exec.ResultCache` presents to the execution runtime
+(``key`` / ``lookup`` / ``put`` / ``fetch`` plus the hit/miss
+counters), so an :class:`~repro.exec.ExecutionContext` built on a tier
+caches transparently — but behind that interface sit *two* stores:
+
+* **local** — an optional on-disk :class:`ResultCache` (the worker's
+  ``--cache-dir``), consulted first;
+* **shared** — the broker's in-memory blob store
+  (:meth:`repro.dist.queue.Broker.cache_get` / ``cache_put``), keyed by
+  the *same* content addresses, consulted on a local miss.
+
+Read-through: a shared hit is written back into the local store, so a
+worker pays the network round-trip once per key.  Write-through: every
+``put`` lands in both stores, so the first worker to converge a sizing
+publishes it and every other worker (and every later CI run against
+the same broker) reuses it instead of recomputing.
+
+What gets published is decided by the *callers* exactly as for the
+local cache — ``fetch(..., should_store=...)`` still gates
+non-converged sizing results, and a worker killed mid-job publishes
+nothing, because ``put`` only ever runs after ``compute()`` returned.
+
+Values cross the wire as explicit pickle blobs (``pickle.dumps`` with
+the highest protocol), the same bytes the disk store writes, so a
+result round-trips bit-exactly through either tier.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exec.cache import ResultCache, entry_key
+
+__all__ = ["CacheTier"]
+
+
+class CacheTier:
+    """Two-level result cache: local disk first, broker store second.
+
+    Parameters
+    ----------
+    remote:
+        An object with ``cache_get(key) -> Optional[bytes]`` and
+        ``cache_put(key, blob)`` — the broker proxy (or a
+        :class:`~repro.dist.queue.Broker` directly, in-process).
+    local:
+        Optional :class:`ResultCache`; ``None`` makes the shared store
+        the only tier (a worker launched without ``--cache-dir``).
+
+    Attributes
+    ----------
+    hits / misses:
+        Combined counters in :class:`ResultCache`'s meaning (a hit in
+        either tier is a hit), so context-level accounting and tests
+        work unchanged on a tier.
+    local_hits / shared_hits / publishes:
+        Tier-resolved diagnostics.
+    """
+
+    def __init__(
+        self, remote, local: Optional[ResultCache] = None
+    ) -> None:
+        self.remote = remote
+        self.local = local
+        self.hits = 0
+        self.misses = 0
+        self.local_hits = 0
+        self.shared_hits = 0
+        self.publishes = 0
+
+    # -- the ResultCache interface -------------------------------------
+
+    def key(self, kind: str, payload: Dict[str, Any]) -> str:
+        """Content address — identical to the disk store's for the same
+        payload, which is what makes the tiers interchangeable."""
+        return entry_key(kind, payload)
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` — local first, then the shared store."""
+        if self.local is not None:
+            hit, value = self.local.get(key)
+            if hit:
+                self.hits += 1
+                self.local_hits += 1
+                return True, value
+        blob = self.remote.cache_get(key)
+        if blob is not None:
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                # A damaged blob reads as a miss, mirroring the disk
+                # store's corrupt-entry tolerance.
+                self.misses += 1
+                return False, None
+            self.hits += 1
+            self.shared_hits += 1
+            if self.local is not None:
+                self.local.put(key, value)
+            return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Write-through: the local store and the shared store."""
+        if self.local is not None:
+            self.local.put(key, value)
+        self.remote.cache_put(
+            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.publishes += 1
+
+    def fetch(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        compute: Callable[[], Any],
+        should_store: Optional[Callable[[Any], bool]] = None,
+    ) -> Any:
+        """Memoise ``compute()`` through both tiers.
+
+        Same contract as :meth:`ResultCache.fetch`: ``should_store``
+        vetoes publishing (non-converged sizing results stay local to
+        the computing process — they are not pure functions of the
+        payload and must never pool).
+        """
+        key = self.key(kind, payload)
+        hit, value = self.lookup(key)
+        if hit:
+            return value
+        value = compute()
+        if should_store is None or should_store(value):
+            self.put(key, value)
+        return value

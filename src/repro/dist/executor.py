@@ -1,0 +1,191 @@
+"""``DistExecutor`` — the driver-side handle on a broker fleet.
+
+It implements the one-method executor protocol
+:func:`repro.exec.pool.parallel_map` accepts (``map(fn, items)`` with
+an ordered merge), so an :class:`~repro.exec.ExecutionContext` built
+with ``executor=DistExecutor("host:port")`` (or the CLI's ``--dist``)
+fans every replication batch and cold sweep over the fleet with **no
+API change anywhere above the pool** — and, by the same contract, no
+change to any number: results are merged by submission index, never by
+completion order or worker identity.
+
+The map is a poll loop over :meth:`Broker.fetch_ready`: results stream
+back as a growing contiguous prefix (firing ``on_result`` in order),
+polling drives the broker's dead-worker reaping, and a
+:class:`~repro.dist.queue.JobFailure` shipped back by any worker
+re-raises here with the worker-side traceback attached.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from multiprocessing import AuthenticationError
+from multiprocessing.managers import RemoteError
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.dist.queue import (
+    DEFAULT_AUTHKEY,
+    BrokerConnection,
+    JobFailure,
+    JobPayload,
+    connect,
+    parse_address,
+)
+from repro.errors import ReproError
+
+__all__ = ["DistExecutor"]
+
+
+class DistExecutor:
+    """Executes job batches on a broker fleet with an ordered merge.
+
+    Parameters
+    ----------
+    address:
+        Broker address (``"host:port"`` or an ``(host, port)`` pair).
+    authkey:
+        Shared secret of the fleet (must match ``repro dist serve``).
+    poll_interval:
+        Seconds between result polls while a batch is outstanding.
+    timeout:
+        Optional overall bound per :meth:`map` call; ``None`` waits as
+        long as live workers exist (long fleet runs legitimately take
+        hours, so there is no default overall bound).
+    no_worker_grace:
+        Seconds without progress after which a fleet with **zero** live
+        workers is an error instead of an indefinite hang (covers
+        workers that were never started and fleets whose last worker
+        died mid-run; generous enough for `dist run` issued while the
+        workers are still spinning up).
+    """
+
+    def __init__(
+        self,
+        address,
+        authkey: bytes = DEFAULT_AUTHKEY,
+        poll_interval: float = 0.05,
+        timeout: Optional[float] = None,
+        no_worker_grace: float = 60.0,
+    ) -> None:
+        self.address = parse_address(address)
+        self.authkey = authkey
+        self.poll_interval = float(poll_interval)
+        self.timeout = timeout
+        self.no_worker_grace = float(no_worker_grace)
+        self._connection: Optional[BrokerConnection] = None
+
+    def _broker(self):
+        if self._connection is None:
+            try:
+                self._connection = connect(
+                    self.address, authkey=self.authkey
+                )
+            except (AuthenticationError, OSError, EOFError) as exc:
+                host, port = self.address
+                raise ReproError(
+                    f"cannot connect to broker at {host}:{port} "
+                    f"({exc!r}); is 'repro dist serve' running there "
+                    f"with a matching --authkey?"
+                )
+        return self._connection.broker
+
+    def stats(self) -> dict:
+        """Queue diagnostics of the connected broker."""
+        return self._broker().stats()
+
+    def cache_stats(self) -> dict:
+        """Shared-cache-store diagnostics of the connected broker."""
+        return self._broker().cache_stats()
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Run ``fn`` over ``items`` on the fleet, merged by index.
+
+        Equivalent to ``[fn(item) for item in items]`` for pure ``fn``
+        (the :mod:`repro.exec.pool` determinism contract), for any
+        number of workers, steal order, or worker death mid-job.
+        ``on_result(index, result)`` fires in index order as the
+        completed prefix grows.
+        """
+        payloads = [JobPayload(fn, item) for item in items]
+        if not payloads:
+            return []
+        broker = self._broker()
+        batch_id = uuid.uuid4().hex
+        broker.submit(batch_id, payloads)
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        results: List[Any] = []
+        last_progress = time.monotonic()
+        try:
+            while len(results) < len(payloads):
+                ready = broker.fetch_ready(batch_id, len(results))
+                for result in ready:
+                    if isinstance(result, JobFailure):
+                        raise ReproError(
+                            f"distributed job {len(results)} failed: "
+                            f"{result.error}\n--- worker traceback ---\n"
+                            f"{result.traceback}"
+                        )
+                    if on_result is not None:
+                        on_result(len(results), result)
+                    results.append(result)
+                if len(results) >= len(payloads):
+                    break
+                now = time.monotonic()
+                # The overall bound applies on *every* iteration — a
+                # slow fleet trickling one result per poll must not
+                # dodge it indefinitely.
+                if deadline is not None and now > deadline:
+                    done, total = broker.batch_status(batch_id)
+                    stats = broker.stats()
+                    raise ReproError(
+                        f"distributed batch timed out after "
+                        f"{self.timeout:.1f}s with {done}/{total} jobs "
+                        f"done ({stats['workers']} live worker(s)); is "
+                        f"a 'repro dist worker' connected?"
+                    )
+                if ready:
+                    last_progress = now
+                    continue  # keep draining while results flow
+                if now - last_progress > self.no_worker_grace:
+                    # Stalled: fine while live workers grind a long
+                    # job, an error once nobody is left to make
+                    # progress — hanging forever helps no one.
+                    if broker.stats()["workers"] == 0:
+                        done, total = broker.batch_status(batch_id)
+                        raise ReproError(
+                            f"no live workers for "
+                            f"{self.no_worker_grace:.0f}s with "
+                            f"{done}/{total} jobs done; start "
+                            f"'repro dist worker' processes against "
+                            f"this broker"
+                        )
+                    last_progress = now
+                time.sleep(self.poll_interval)
+        except RemoteError as exc:
+            # A broker-side rejection (e.g. the batch was TTL-dropped
+            # after this driver stalled for longer than the broker's
+            # batch_ttl) arrives as a pickled remote traceback; surface
+            # it as a clean, actionable error.
+            raise ReproError(
+                f"broker rejected batch {batch_id}: the batch was "
+                f"likely dropped (driver stalled past the broker's "
+                f"batch TTL, or the broker restarted) — rerun the "
+                f"map.\n{exc}"
+            )
+        finally:
+            # Best-effort: if the broker is gone (or already dropped
+            # the batch), failing the cleanup RPC must not mask the
+            # propagating error — the TTL reaps undropped batches.
+            try:
+                broker.drop_batch(batch_id)
+            except Exception:
+                pass
+        return results

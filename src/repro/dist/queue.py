@@ -1,0 +1,493 @@
+"""Work-stealing job queue over TCP: the broker and its wire protocol.
+
+One :class:`Broker` lives in the broker process (``repro dist serve``)
+and is exported over TCP through a :class:`multiprocessing.managers`
+manager — every method call below is therefore available to drivers and
+workers as a picklingly thin RPC, with no new dependencies.
+
+Queue semantics
+---------------
+* **submit** — a driver registers a *batch*: an ordered list of
+  picklable job payloads.  Job ids are ``(batch_id, index)``; results
+  are stored per index, so the driver's merge is by submission order no
+  matter which worker computed what (the determinism contract of
+  :mod:`repro.exec.pool`, extended across hosts).
+* **pull** — workers lease up to ``max_jobs`` payloads.  Leases over
+  the central queue make prefetched-but-unstarted jobs *stealable*: an
+  idle worker whose pull finds the queue empty steals an unstarted
+  lease from the most-loaded worker instead of idling.
+* **start** — a worker announces it is about to execute a leased job.
+  ``False`` means the job was stolen or reassigned in the meantime; the
+  worker just skips it (the thief runs it), so no job ever runs twice
+  because of a steal.
+* **complete** — stores the result and clears the lease.  Duplicate
+  completions (a presumed-dead worker that was merely slow) are
+  ignored; jobs are pure, so whichever result landed first is the same
+  bits.
+* **heartbeat / reaping** — workers beat while executing; any worker
+  whose last beat is older than ``lease_timeout`` is reaped and its
+  incomplete leases re-enqueued at the *front* of the queue (oldest
+  index first), so a worker death mid-job delays that job, never loses
+  or reorders it.
+
+The broker also hosts the shared cache tier's store (``cache_get`` /
+``cache_put``): an in-memory LRU of opaque pickled blobs keyed by the
+same content addresses :class:`repro.exec.cache.ResultCache` uses on
+disk (see :mod:`repro.dist.cachetier`).
+
+Clocks: all lease/heartbeat arithmetic uses the *broker's* monotonic
+clock, so multi-host fleets need no cross-host clock agreement.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from multiprocessing.managers import BaseManager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Shared-secret default for the manager handshake.  Every process of a
+#: fleet must agree on it (``--authkey``); it authenticates peers, it is
+#: *not* an encryption or trust boundary — run fleets on trusted
+#: networks only.
+DEFAULT_AUTHKEY = b"repro-dist"
+
+#: Default TCP port of ``repro dist serve``.
+DEFAULT_PORT = 7070
+
+#: Seconds without a heartbeat after which a worker is considered dead
+#: and its leases are re-enqueued.
+DEFAULT_LEASE_TIMEOUT = 10.0
+
+#: Default bound of the broker-side shared cache store (bytes).
+DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+JobId = Tuple[str, int]
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """Coerce ``"host:port"`` (or an ``(host, port)`` pair) to a pair."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if sep and host and port.isdigit():
+            return host, int(port)
+    raise ReproError(
+        f"broker address must be 'host:port' or (host, port), "
+        f"got {address!r}"
+    )
+
+
+@dataclass(frozen=True)
+class JobPayload:
+    """One unit of distributable work: a pure function of one item.
+
+    ``fn`` must be a module-level callable (pickled by reference, so
+    both ends import the same code); ``item`` carries everything the
+    job reads — the same purity contract as
+    :func:`repro.exec.pool.parallel_map`.
+    """
+
+    fn: Callable[[Any], Any]
+    item: Any
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job that raised, shipped back to the driver for re-raising."""
+
+    error: str
+    traceback: str
+
+
+class Broker:
+    """The broker's whole state machine, one lock around all of it.
+
+    Methods are invoked concurrently from the manager server's
+    per-connection threads; every public method takes the lock, mutates
+    under it, and returns plain picklable values.
+    """
+
+    def __init__(
+        self,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
+        clock: Callable[[], float] = time.monotonic,
+        batch_ttl: Optional[float] = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ReproError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        self.lease_timeout = float(lease_timeout)
+        # A live driver polls its batch every few hundredths of a
+        # second, so a batch unpolled for this long belongs to a dead
+        # (or partitioned) driver: drop it, or a long-lived broker
+        # accumulates orphaned payloads/results until OOM while
+        # workers burn CPU on jobs nobody will fetch.
+        self.batch_ttl = (
+            float(batch_ttl)
+            if batch_ttl is not None
+            else max(30.0 * self.lease_timeout, 300.0)
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        # Queue state.
+        self._pending: deque = deque()  # job ids awaiting a lease
+        self._payloads: Dict[JobId, JobPayload] = {}
+        self._leases: Dict[JobId, str] = {}  # job id -> worker id
+        self._started: set = set()  # leased jobs whose execution began
+        self._batch_totals: Dict[str, int] = {}
+        self._results: Dict[str, Dict[int, Any]] = {}
+        self._batch_polled: Dict[str, float] = {}  # batch -> last poll
+        self._workers: Dict[str, float] = {}  # worker id -> last beat
+        # Shared cache store (opaque blobs, LRU-bounded).
+        self._cache: "OrderedDict[str, bytes]" = OrderedDict()
+        self._cache_bytes = 0
+        self.cache_max_bytes = cache_max_bytes
+        # Counters (diagnostics; surfaced by stats()/cache_stats()).
+        self.steals = 0
+        self.reaped_jobs = 0
+        self.completed = 0
+        self.dropped_batches = 0
+        self._cache_gets = 0
+        self._cache_hits = 0
+        self._cache_puts = 0
+        self._cache_evictions = 0
+
+    # -- queue protocol ------------------------------------------------
+
+    def submit(self, batch_id: str, payloads: List[JobPayload]) -> int:
+        """Register one ordered batch of jobs; returns the batch size."""
+        with self._lock:
+            if batch_id in self._batch_totals:
+                raise ReproError(f"batch {batch_id!r} already submitted")
+            self._batch_totals[batch_id] = len(payloads)
+            self._results[batch_id] = {}
+            self._batch_polled[batch_id] = self._clock()
+            for index, payload in enumerate(payloads):
+                job_id = (batch_id, index)
+                self._payloads[job_id] = payload
+                self._pending.append(job_id)
+            return len(payloads)
+
+    def pull(
+        self, worker_id: str, max_jobs: int = 1
+    ) -> List[Tuple[JobId, JobPayload]]:
+        """Lease up to ``max_jobs`` jobs to one worker (steals if idle)."""
+        with self._lock:
+            self._beat(worker_id)
+            self._reap()
+            granted: List[Tuple[JobId, JobPayload]] = []
+            while len(granted) < max_jobs and self._pending:
+                job_id = self._pending.popleft()
+                if job_id not in self._payloads or job_id in self._leases:
+                    continue  # dropped batch / duplicate re-enqueue
+                self._leases[job_id] = worker_id
+                granted.append((job_id, self._payloads[job_id]))
+            if not granted:
+                stolen = self._steal_for(worker_id)
+                if stolen is not None:
+                    granted.append(stolen)
+            return granted
+
+    def _steal_for(
+        self, thief: str
+    ) -> Optional[Tuple[JobId, JobPayload]]:
+        """Reassign one unstarted lease from the most-loaded worker."""
+        by_victim: Dict[str, List[JobId]] = {}
+        for job_id, owner in self._leases.items():
+            if owner != thief and job_id not in self._started:
+                by_victim.setdefault(owner, []).append(job_id)
+        if not by_victim:
+            return None
+        victim = max(by_victim, key=lambda w: len(by_victim[w]))
+        # Steal the tail of the victim's lease (its last-pulled job):
+        # the victim works its lease front to back, so the tail is the
+        # job it would reach last — the least likely to race a start().
+        job_id = max(by_victim[victim])
+        self._leases[job_id] = thief
+        self.steals += 1
+        return job_id, self._payloads[job_id]
+
+    def start(self, worker_id: str, job_id: JobId) -> bool:
+        """Whether ``worker_id`` still owns the lease and may execute."""
+        with self._lock:
+            self._beat(worker_id)
+            job_id = tuple(job_id)
+            if self._leases.get(job_id) != worker_id:
+                return False  # stolen, reaped or already completed
+            self._started.add(job_id)
+            return True
+
+    def complete(self, worker_id: str, job_id: JobId, result: Any) -> None:
+        """Store one job's result (idempotent across duplicate runs)."""
+        with self._lock:
+            self._beat(worker_id)
+            batch_id, index = job_id
+            job_id = (batch_id, index)
+            results = self._results.get(batch_id)
+            if results is None or index in results:
+                return  # dropped batch, or a duplicate completion
+            results[index] = result
+            self.completed += 1
+            self._forget_job(job_id)
+
+    def heartbeat(self, worker_id: str) -> None:
+        """Record liveness (workers beat from a side thread mid-job)."""
+        with self._lock:
+            self._beat(worker_id)
+
+    def fetch_ready(self, batch_id: str, start: int) -> List[Any]:
+        """The contiguous completed results from index ``start`` on.
+
+        The driver's poll loop; also drives reaping, so dead workers
+        are detected even while every surviving worker is busy.
+        """
+        with self._lock:
+            self._reap()
+            results = self._results.get(batch_id)
+            if results is None:
+                raise ReproError(f"unknown batch {batch_id!r}")
+            self._batch_polled[batch_id] = self._clock()
+            ready: List[Any] = []
+            index = start
+            while index in results:
+                ready.append(results[index])
+                index += 1
+            return ready
+
+    def batch_status(self, batch_id: str) -> Tuple[int, int]:
+        """``(completed, total)`` for one batch."""
+        with self._lock:
+            if batch_id not in self._batch_totals:
+                raise ReproError(f"unknown batch {batch_id!r}")
+            self._batch_polled[batch_id] = self._clock()
+            return (
+                len(self._results[batch_id]),
+                self._batch_totals[batch_id],
+            )
+
+    def drop_batch(self, batch_id: str) -> None:
+        """Forget one batch entirely (results, pending and leased jobs)."""
+        with self._lock:
+            self._drop_batch(batch_id)
+
+    def config(self) -> Dict[str, Any]:
+        """Broker parameters workers read at connect time."""
+        with self._lock:
+            return {"lease_timeout": self.lease_timeout}
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue diagnostics (tests, the fleet driver's summary line)."""
+        with self._lock:
+            return {
+                "workers": len(self._workers),
+                "pending": len(self._pending),
+                "leased": len(self._leases),
+                "batches": len(self._batch_totals),
+                "completed": self.completed,
+                "steals": self.steals,
+                "reaped_jobs": self.reaped_jobs,
+                "dropped_batches": self.dropped_batches,
+            }
+
+    # -- internals (call with the lock held) ---------------------------
+
+    def _beat(self, worker_id: str) -> None:
+        self._workers[worker_id] = self._clock()
+
+    def _drop_batch(self, batch_id: str) -> None:
+        self._batch_totals.pop(batch_id, None)
+        self._results.pop(batch_id, None)
+        self._batch_polled.pop(batch_id, None)
+        for job_id in [j for j in self._payloads if j[0] == batch_id]:
+            self._forget_job(job_id)
+
+    def _reap(self) -> None:
+        """Re-enqueue every incomplete lease of heartbeat-dead workers,
+        and drop batches whose driver stopped polling (died) entirely."""
+        now = self._clock()
+        for batch_id in [
+            b
+            for b, polled in self._batch_polled.items()
+            if now - polled > self.batch_ttl
+        ]:
+            self._drop_batch(batch_id)
+            self.dropped_batches += 1
+        dead = [
+            w
+            for w, beat in self._workers.items()
+            if now - beat > self.lease_timeout
+        ]
+        for worker_id in dead:
+            del self._workers[worker_id]
+            orphaned = sorted(
+                j for j, owner in self._leases.items() if owner == worker_id
+            )
+            for job_id in orphaned:
+                del self._leases[job_id]
+                self._started.discard(job_id)
+            # Front of the queue, oldest index first: a re-enqueued job
+            # is picked up before fresh work, bounding its extra delay.
+            self._pending.extendleft(reversed(orphaned))
+            self.reaped_jobs += len(orphaned)
+
+    def _forget_job(self, job_id: JobId) -> None:
+        self._payloads.pop(job_id, None)
+        self._leases.pop(job_id, None)
+        self._started.discard(job_id)
+
+    # -- shared cache store --------------------------------------------
+
+    def cache_get(self, key: str) -> Optional[bytes]:
+        """The blob stored under one content address (``None`` = miss)."""
+        with self._lock:
+            self._cache_gets += 1
+            blob = self._cache.get(key)
+            if blob is None:
+                return None
+            self._cache_hits += 1
+            self._cache.move_to_end(key)
+            return blob
+
+    def cache_put(self, key: str, blob: bytes) -> None:
+        """Publish one blob (LRU-evicting beyond ``cache_max_bytes``)."""
+        with self._lock:
+            self._cache_puts += 1
+            old = self._cache.pop(key, None)
+            if old is not None:
+                self._cache_bytes -= len(old)
+            self._cache[key] = blob
+            self._cache_bytes += len(blob)
+            if self.cache_max_bytes is None:
+                return
+            while self._cache_bytes > self.cache_max_bytes and self._cache:
+                _, evicted = self._cache.popitem(last=False)
+                self._cache_bytes -= len(evicted)
+                self._cache_evictions += 1
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Shared-store counters (cross-worker hits show up in ``hits``)."""
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "bytes": self._cache_bytes,
+                "gets": self._cache_gets,
+                "hits": self._cache_hits,
+                "puts": self._cache_puts,
+                "evictions": self._cache_evictions,
+            }
+
+
+# ----------------------------------------------------------------------
+# Manager plumbing: export one Broker over TCP / connect to one.
+
+
+class BrokerServer:
+    """A :class:`Broker` listening on TCP.
+
+    ``port=0`` binds an ephemeral port; the actual address is
+    :attr:`address` either way.  ``serve_forever`` blocks (the CLI's
+    ``repro dist serve``); ``start_in_thread`` runs the accept loop on
+    a daemon thread (tests, benchmarks, in-process fleets).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        authkey: bytes = DEFAULT_AUTHKEY,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
+        batch_ttl: Optional[float] = None,
+    ) -> None:
+        self.broker = Broker(
+            lease_timeout=lease_timeout,
+            cache_max_bytes=cache_max_bytes,
+            batch_ttl=batch_ttl,
+        )
+        broker = self.broker
+
+        class _Manager(BaseManager):
+            pass
+
+        _Manager.register("get_broker", callable=lambda: broker)
+        self._manager = _Manager(address=(host, port), authkey=authkey)
+        self._server = self._manager.get_server()
+        self.address: Tuple[str, int] = self._server.address
+        self._thread: Optional[threading.Thread] = None
+
+    def serve_forever(self) -> None:
+        """Run the accept loop in this thread (blocks until stopped)."""
+        self._server.serve_forever()
+
+    def start_in_thread(self) -> "BrokerServer":
+        """Run the accept loop on a daemon thread; returns ``self``."""
+
+        def _serve() -> None:
+            try:
+                self._server.serve_forever()
+            except SystemExit:
+                # The manager's accept loop exits via sys.exit(0) when
+                # stop() sets its event — a clean shutdown, not an
+                # error to surface from a daemon thread.
+                pass
+
+        self._thread = threading.Thread(
+            target=_serve,
+            name="repro-dist-broker",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the serve loop (the CLI's Ctrl-C path and the tests).
+
+        The listening socket is deliberately *not* closed: the stdlib
+        manager's accepter daemon thread loops ``continue`` on any
+        accept error, so closing the listener turns it into a busy
+        spin.  Left open, the thread blocks harmlessly in ``accept``
+        and everything dies with the process (the socket is ephemeral
+        state; a stopped in-process broker outliving its test leaks
+        one bound port for the process lifetime, nothing more).
+        """
+        stop_event = getattr(self._server, "stop_event", None)
+        if stop_event is not None:
+            stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+class BrokerConnection:
+    """One client connection to a broker (driver or worker side).
+
+    Holds the manager object alive for as long as the proxy is used;
+    a proxy must only be used from the thread that created it (workers'
+    heartbeat threads open their own connection).
+    """
+
+    def __init__(
+        self, address, authkey: bytes = DEFAULT_AUTHKEY
+    ) -> None:
+        self.address = parse_address(address)
+
+        class _Manager(BaseManager):
+            pass
+
+        _Manager.register("get_broker")
+        self._manager = _Manager(address=self.address, authkey=authkey)
+        self._manager.connect()
+        self.broker = self._manager.get_broker()
+
+
+def connect(address, authkey: bytes = DEFAULT_AUTHKEY) -> BrokerConnection:
+    """Open one connection to the broker at ``address``."""
+    return BrokerConnection(address, authkey=authkey)

@@ -1,0 +1,173 @@
+"""The worker loop: pull, start, execute, complete — and heartbeat.
+
+``repro dist worker HOST:PORT`` runs :func:`worker_loop` in the
+foreground.  The loop leases up to ``prefetch`` jobs per pull (leased
+surplus is what idle peers steal), announces each execution with
+``start`` (a ``False`` answer means the job was stolen — skip it), and
+ships results (or a :class:`~repro.dist.queue.JobFailure` wrapping the
+exception) back with ``complete``.
+
+Liveness is a side thread beating over its *own* broker connection
+(manager proxies are not thread-safe across threads), so a worker
+stays alive through arbitrarily long jobs; a worker that dies stops
+beating and the broker re-enqueues its leases after ``lease_timeout``.
+
+Each worker installs a :class:`~repro.dist.cachetier.CacheTier`
+(optional local disk + the broker's shared store) as the process-wide
+active cache of :mod:`repro.dist.jobs`, so fleet jobs transparently
+pool converged sizing results across workers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+import uuid
+from multiprocessing import AuthenticationError
+from typing import Optional
+
+from repro.errors import ReproError
+
+from repro.dist import jobs as dist_jobs
+from repro.dist.cachetier import CacheTier
+from repro.dist.queue import (
+    DEFAULT_AUTHKEY,
+    JobFailure,
+    JobPayload,
+    connect,
+    parse_address,
+)
+from repro.exec.cache import ResultCache
+
+__all__ = ["default_worker_id", "worker_loop"]
+
+#: Connection errors meaning "the broker went away" — a worker treats
+#: them as a clean shutdown signal, not a crash.
+_BROKER_GONE = (ConnectionError, EOFError, BrokenPipeError, OSError)
+
+
+def default_worker_id() -> str:
+    """A fleet-unique worker name: host, pid, and a random suffix."""
+    return (
+        f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    )
+
+
+def _execute(payload: JobPayload):
+    """Run one job; exceptions become a shippable :class:`JobFailure`."""
+    try:
+        return payload.fn(payload.item)
+    except Exception as exc:
+        return JobFailure(error=repr(exc), traceback=traceback.format_exc())
+
+
+class _Heartbeat(threading.Thread):
+    """Beats over a dedicated broker connection until stopped."""
+
+    def __init__(self, address, authkey, worker_id, interval):
+        super().__init__(name=f"heartbeat-{worker_id}", daemon=True)
+        self._address = address
+        self._authkey = authkey
+        self._worker_id = worker_id
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        try:
+            broker = connect(self._address, authkey=self._authkey).broker
+            while not self._stop.wait(self._interval):
+                broker.heartbeat(self._worker_id)
+        except _BROKER_GONE:
+            return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def worker_loop(
+    address,
+    authkey: bytes = DEFAULT_AUTHKEY,
+    cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
+    prefetch: int = 2,
+    poll_interval: float = 0.1,
+    max_idle: Optional[float] = None,
+    worker_id: Optional[str] = None,
+) -> int:
+    """Serve jobs from the broker at ``address`` until told to stop.
+
+    Parameters
+    ----------
+    address:
+        Broker address (``"host:port"`` or a pair).
+    cache_dir / cache_max_bytes:
+        Optional local disk tier under the shared cache (a worker
+        without one still reads/writes the broker's shared store).
+    prefetch:
+        Jobs leased per pull; the surplus beyond the one executing is
+        the stealable margin.
+    poll_interval:
+        Sleep between empty pulls.
+    max_idle:
+        Exit after this many consecutive seconds without work
+        (``None`` = serve forever); the number of jobs executed is
+        returned.
+    """
+    address = parse_address(address)
+    worker_id = worker_id or default_worker_id()
+    try:
+        connection = connect(address, authkey=authkey)
+        broker = connection.broker
+        lease_timeout = broker.config()["lease_timeout"]
+    except (AuthenticationError, *_BROKER_GONE) as exc:
+        host, port = address
+        raise ReproError(
+            f"cannot connect to broker at {host}:{port} ({exc!r}); is "
+            f"'repro dist serve' running there with a matching "
+            f"--authkey?"
+        )
+    heartbeat = _Heartbeat(
+        address, authkey, worker_id, interval=max(lease_timeout / 4, 0.02)
+    )
+    heartbeat.start()
+    local = (
+        ResultCache(cache_dir, max_bytes=cache_max_bytes)
+        if cache_dir
+        else None
+    )
+    previous_cache = dist_jobs.set_active_cache(
+        CacheTier(remote=broker, local=local)
+    )
+    executed = 0
+    idle_since: Optional[float] = None
+    try:
+        while True:
+            try:
+                leased = broker.pull(worker_id, max_jobs=prefetch)
+            except _BROKER_GONE:
+                break
+            if not leased:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                elif max_idle is not None and now - idle_since > max_idle:
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle_since = None
+            for job_id, payload in leased:
+                try:
+                    if not broker.start(worker_id, job_id):
+                        continue  # stolen while leased — the thief runs it
+                    result = _execute(payload)
+                    broker.complete(worker_id, job_id, result)
+                    executed += 1
+                except _BROKER_GONE:
+                    return executed
+    finally:
+        heartbeat.stop()
+        dist_jobs.set_active_cache(previous_cache)
+    return executed

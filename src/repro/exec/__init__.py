@@ -77,8 +77,10 @@ def _replicate_defaults() -> Dict[str, Any]:
     omitted defaults must hash identically, or callers that spell their
     calls differently (CLI vs ``compare_policies``) silently never
     share cache entries.  ``seed`` is simulate's per-run seed (derived
-    by replicate, not a batch kwarg) and ``jobs`` cannot change the
-    result; both are excluded.
+    by replicate, not a batch kwarg); ``jobs``/``executor`` cannot
+    change the result (the pool/fleet determinism contract) and
+    ``on_result`` is pure observation — all are excluded, keeping keys
+    identical across local, pooled and distributed runs.
     """
     from repro.sim import runner
 
@@ -87,7 +89,7 @@ def _replicate_defaults() -> Dict[str, Any]:
         for name, param in inspect.signature(fn).parameters.items():
             if param.default is not inspect.Parameter.empty:
                 merged[name] = param.default
-    for excluded in ("seed", "jobs"):
+    for excluded in ("seed", "jobs", "executor", "on_result"):
         merged.pop(excluded, None)
     return merged
 
@@ -120,6 +122,18 @@ class ExecutionContext:
         context builds carries it, so cached sizing/replication results
         are scoped per scenario; ``None`` (the default) leaves payloads
         unscoped.
+    executor:
+        Optional remote executor (:class:`repro.dist.DistExecutor`):
+        replication batches and cold sweep fan-outs run on the fleet
+        instead of the local pool.  Like ``jobs`` it cannot change any
+        result (the distributed merge is by submission index) and is
+        excluded from every cache key.
+    progress:
+        Optional ``progress(kind, key)`` observer, called once per
+        completed unit — ``("replication", index)`` per simulation run,
+        ``("sizing", budget)`` per sweep point.  The CLI's
+        ``--progress`` and the fleet driver plug printers in here;
+        pure observation, never part of a cache key.
     """
 
     jobs: int = 1
@@ -127,6 +141,8 @@ class ExecutionContext:
     warm_start: bool = True
     sim_backend: str = "batched"
     scenario: Optional[Any] = None
+    executor: Optional[Any] = None
+    progress: Optional[Any] = None
 
     def __post_init__(self) -> None:
         # Accept a ScenarioSpec anywhere a scope is accepted: the raw
@@ -143,12 +159,19 @@ class ExecutionContext:
         sim_backend: str = "batched",
         cache_max_mb: Optional[float] = None,
         scenario: Optional[Any] = None,
+        dist: Optional[str] = None,
+        dist_authkey: Optional[str] = None,
+        progress: Optional[Any] = None,
     ) -> "ExecutionContext":
         """Build a context from plain CLI-style values.
 
         ``cache_max_mb`` bounds the cache directory (LRU eviction, in
         MiB); it requires ``cache_dir``.  ``scenario`` accepts the same
         values as :meth:`scoped` (a ``ScenarioSpec`` or a plain scope).
+        ``dist`` is a broker address (``"host:port"``, the CLI's
+        ``--dist``): batches fan out over that fleet via a
+        :class:`repro.dist.DistExecutor` instead of the local pool,
+        authenticated with ``dist_authkey`` (``--authkey``) when given.
         """
         if cache_max_mb is not None and cache_dir is None:
             raise ReproError("cache_max_mb requires a cache directory")
@@ -157,6 +180,17 @@ class ExecutionContext:
             if cache_max_mb is not None
             else None
         )
+        executor = None
+        if dist is not None:
+            from repro.dist import DistExecutor
+
+            executor = (
+                DistExecutor(dist)
+                if dist_authkey is None
+                else DistExecutor(
+                    dist, authkey=dist_authkey.encode("utf-8")
+                )
+            )
         context = cls(
             jobs=resolve_jobs(jobs),
             cache=(
@@ -166,6 +200,8 @@ class ExecutionContext:
             ),
             warm_start=bool(warm_start),
             sim_backend=sim_backend,
+            executor=executor,
+            progress=progress,
         )
         return context if scenario is None else context.scoped(scenario)
 
@@ -219,6 +255,10 @@ class ExecutionContext:
         (`BudgetSweepOutcome`)."""
         from repro.exec.sweeps import sweep_budgets
 
+        on_result = None
+        if self.progress is not None:
+            progress = self.progress
+            on_result = lambda budget, result: progress("sizing", budget)
         return sweep_budgets(
             topology,
             budgets,
@@ -227,6 +267,8 @@ class ExecutionContext:
             cache=self.cache,
             jobs=self.jobs,
             scope=self.scenario,
+            executor=self.executor,
+            on_result=on_result,
         )
 
     def replicate(self, topology, capacities: Dict[str, int], **kwargs):
@@ -243,9 +285,24 @@ class ExecutionContext:
         from repro.sim.runner import replicate
 
         kwargs.setdefault("backend", self.sim_backend)
+        # Execution-path knobs never reach the cache payload: they are
+        # pure observation (on_result) or answer-preserving (executor,
+        # jobs) by the pool/fleet determinism contract.
+        executor = kwargs.pop("executor", self.executor)
+        on_result = kwargs.pop("on_result", None)
+        if on_result is None and self.progress is not None:
+            progress = self.progress
+            on_result = lambda index, result: progress("replication", index)
 
         def compute():
-            return replicate(topology, capacities, jobs=self.jobs, **kwargs)
+            return replicate(
+                topology,
+                capacities,
+                jobs=self.jobs,
+                executor=executor,
+                on_result=on_result,
+                **kwargs,
+            )
 
         if self.cache is None:
             return compute()
@@ -260,4 +317,16 @@ class ExecutionContext:
         }
         if self.scenario is not None:
             payload["scenario"] = self.scenario
-        return self.cache.fetch("replicate", payload, compute)
+        key = self.cache.key("replicate", payload)
+        hit, value = self.cache.lookup(key)
+        if hit:
+            # A cached batch still streams its per-replication events
+            # (mirroring sweep_budgets, whose cache hits fire too), so
+            # an observer can't mistake a hit for a stall.
+            if on_result is not None:
+                for index, result in enumerate(value.results):
+                    on_result(index, result)
+            return value
+        value = compute()
+        self.cache.put(key, value)
+        return value

@@ -32,6 +32,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -85,6 +86,27 @@ def stable_hash(payload: Any) -> str:
         canonicalize(payload), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def entry_key(kind: str, payload: Dict[str, Any]) -> str:
+    """The content address of one computation.
+
+    The envelope pins the computation kind, the cache schema and the
+    code version alongside the payload, so keys from different
+    kinds/versions can never collide.  Module-level because the address
+    is a pure function of its inputs: every store tier — the on-disk
+    :class:`ResultCache`, the distributed shared tier
+    (:mod:`repro.dist.cachetier`) — must compute identical keys or
+    they could never pool results.
+    """
+    return stable_hash(
+        {
+            "kind": kind,
+            "schema": CACHE_SCHEMA,
+            "code_version": _version.__version__,
+            "payload": payload,
+        }
+    )
 
 
 def topology_fingerprint(topology) -> Dict[str, Any]:
@@ -166,6 +188,13 @@ class ResultCache:
         # the (authoritative, correcting) eviction scan early — the
         # estimate can never let the cache silently exceed the bound.
         self._approx_bytes: Optional[int] = None
+        # Serialises the footprint bookkeeping and eviction across
+        # threads sharing this instance (a broker serving one store
+        # from many connection threads, a pooled CI harness).  Cross-
+        # *process* safety needs no lock: entry writes are atomic
+        # renames, reads tolerate any bytes, and eviction tolerates
+        # files vanishing underneath it.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -176,14 +205,7 @@ class ResultCache:
         code version alongside the payload, so keys from different
         kinds/versions can never collide.
         """
-        return stable_hash(
-            {
-                "kind": kind,
-                "schema": CACHE_SCHEMA,
-                "code_version": _version.__version__,
-                "payload": payload,
-            }
-        )
+        return entry_key(kind, payload)
 
     def path_for(self, key: str) -> Path:
         """On-disk location of one entry."""
@@ -231,6 +253,13 @@ class ResultCache:
     def put(self, key: str, value: Any) -> None:
         """Store one value atomically (tmp file + rename).
 
+        Concurrent-writer safe: every writer dumps into its own unique
+        temp file and installs it with one atomic ``os.replace``, so
+        racing writers (parallel CI shards, fleet workers sharing a
+        directory) can never interleave bytes or expose a truncated
+        entry — last rename wins, and for content-addressed keys both
+        contenders carry the same value anyway.
+
         With ``max_bytes`` set, least-recently-used entries are evicted
         afterwards until the footprint fits the bound.
         """
@@ -248,15 +277,19 @@ class ResultCache:
                 pass
             raise
         if self.max_bytes is not None:
-            if self._approx_bytes is None:
-                self._approx_bytes = self.total_bytes()
-            else:
-                try:
-                    self._approx_bytes += path.stat().st_size
-                except OSError:
-                    pass
-            if self._approx_bytes > self.max_bytes:
-                self._evict_lru()
+            with self._lock:
+                if self._approx_bytes is None:
+                    self._approx_bytes = self.total_bytes()
+                else:
+                    try:
+                        self._approx_bytes += path.stat().st_size
+                    except OSError:
+                        # Evicted (or re-put) by a concurrent writer
+                        # between the rename and the stat; the next
+                        # eviction rescan corrects the estimate.
+                        pass
+                if self._approx_bytes > self.max_bytes:
+                    self._evict_lru()
 
     def entry_paths(self) -> list:
         """All entry files currently on disk (any fan-out directory)."""
@@ -276,6 +309,12 @@ class ResultCache:
 
     def _evict_lru(self) -> None:
         """Delete oldest-access entries until the bound is met.
+
+        Called with :attr:`_lock` held (one eviction scan at a time
+        per instance); concurrent *processes* evicting the same
+        directory are tolerated via the ``OSError`` guards below — a
+        file unlinked by the other evictor (``FileNotFoundError``)
+        simply stops counting here.
 
         Rescans the directory for an authoritative footprint (also
         correcting :attr:`_approx_bytes` drift), so it is only invoked

@@ -52,6 +52,8 @@ def parallel_map(
     items: Iterable[T],
     jobs: Optional[int] = 1,
     chunksize: int = 1,
+    executor: Optional[object] = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` with an ordered, deterministic merge.
 
@@ -67,16 +69,42 @@ def parallel_map(
     chunksize:
         Jobs shipped per worker round-trip (larger amortises IPC for
         many small jobs).
+    executor:
+        Optional remote executor — any object with
+        ``map(fn, items, on_result=...) -> list`` merging by submission
+        index (:class:`repro.dist.DistExecutor` is the one in-tree).
+        When given it replaces the process pool entirely and ``jobs``
+        is ignored; by its own determinism contract the results are
+        the same either way.
+    on_result:
+        Optional ``on_result(index, result)`` progress callback, fired
+        in submission order as the completed prefix grows (for the
+        serial path: after every job).
 
     Any exception raised by a job propagates to the caller — a failed
     job is never silently dropped or reordered.
     """
     job_list = list(items)
+    if executor is not None:
+        return executor.map(fn, job_list, on_result=on_result)
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(job_list) <= 1:
-        return [fn(item) for item in job_list]
+        results: List[R] = []
+        for index, item in enumerate(job_list):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     workers = min(workers, len(job_list))
-    with ProcessPoolExecutor(max_workers=workers) as executor:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
         # Executor.map yields results in submission order regardless of
         # completion order: the ordered merge the contract requires.
-        return list(executor.map(fn, job_list, chunksize=chunksize))
+        results = []
+        for index, result in enumerate(
+            pool.map(fn, job_list, chunksize=chunksize)
+        ):
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results

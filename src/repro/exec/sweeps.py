@@ -32,7 +32,7 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sizing import BufferSizer, SizingResult, WarmStartState
 from repro.errors import ReproError
@@ -154,6 +154,8 @@ def sweep_budgets(
     cache: Optional[ResultCache] = None,
     jobs: int = 1,
     scope: Optional[Any] = None,
+    executor: Optional[Any] = None,
+    on_result: Optional[Callable[[int, SizingResult], None]] = None,
 ) -> BudgetSweepOutcome:
     """Size one topology at several budgets, chaining warm starts.
 
@@ -181,6 +183,16 @@ def sweep_budgets(
     scope:
         Optional scenario scope added to every point's cache payload
         (see :func:`sizing_payload`).
+    executor:
+        Optional remote executor (:class:`repro.dist.DistExecutor`)
+        the cold fan-out runs on instead of the local pool; like
+        ``jobs``, it is ignored while warm starting (the chain is
+        inherently sequential) and cannot change any result.
+    on_result:
+        Optional ``on_result(budget, result)`` progress callback,
+        fired once per unique budget as its result becomes known —
+        cache hits at lookup time, fresh solves as they complete (in
+        axis order).
     """
     if not budgets:
         raise ReproError("budget sweep needs at least one budget")
@@ -201,6 +213,8 @@ def sweep_budgets(
             hit, value = cache.lookup(keys[budget])
             if hit:
                 cached[budget] = value
+                if on_result is not None:
+                    on_result(budget, value)
 
     fresh: Dict[int, SizingResult] = {}
     warm_used: Dict[int, bool] = {}
@@ -212,11 +226,19 @@ def sweep_budgets(
             result, state = sizer.size_warm(topology, state)
             fresh[budget] = result
             warm_used[budget] = i > 0
+            if on_result is not None:
+                on_result(budget, result)
     elif to_solve:
         results = parallel_map(
             _size_cold,
             [(topology, budget, sizer_kwargs) for budget in to_solve],
             jobs=jobs,
+            executor=executor,
+            on_result=(
+                None
+                if on_result is None
+                else lambda i, result: on_result(to_solve[i], result)
+            ),
         )
         for budget, result in zip(to_solve, results):
             fresh[budget] = result

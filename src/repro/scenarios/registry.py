@@ -41,12 +41,17 @@ class ScenarioFamily:
 
     ``resolver(name)`` returns a spec when the name belongs to the
     family, ``None`` otherwise; ``pattern`` is the human-readable
-    template shown by ``repro scenarios list``.
+    template shown by ``repro scenarios list``, ``grammar`` spells out
+    what each ``<parameter>`` placeholder accepts, and ``example`` is
+    one concrete resolvable member name (the listing resolves it live,
+    so a family whose example stops resolving fails loudly).
     """
 
     pattern: str
     description: str
     resolver: Callable[[str], Optional[ScenarioSpec]]
+    grammar: str = ""
+    example: str = ""
 
 
 def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
@@ -243,6 +248,13 @@ register_family(
             "extras, deterministic from <seed>"
         ),
         resolver=_resolve_random_mesh,
+        grammar=(
+            "<clusters> = bus clusters, integer >= 1; "
+            "<seed> = architecture seed, integer >= 0 "
+            "(leading zeros canonicalise: random-mesh-04-7 == "
+            "random-mesh-4-7)"
+        ),
+        example="random-mesh-2-7",
     )
 )
 
@@ -251,5 +263,7 @@ register_family(
         pattern="single-bus-<n>",
         description="minimal single-bus instance with <n> processors",
         resolver=_resolve_single_bus,
+        grammar="<n> = processors on the bus, integer >= 2",
+        example="single-bus-6",
     )
 )

@@ -246,23 +246,29 @@ def replicate(
     base_seed: int = 0,
     jobs: int = 1,
     seed_scheme: str = "legacy",
+    executor=None,
+    on_result=None,
     **kwargs,
 ) -> ReplicationSummary:
     """Run ``replications`` independent simulations (the paper's 10 iterations).
 
     ``jobs`` fans the independent-seed runs over a process pool via
-    :mod:`repro.exec.pool`; seeds are derived up front and results are
-    merged in replication order, so any ``jobs`` value produces a
-    bitwise-identical :class:`ReplicationSummary`.  ``seed_scheme``
-    selects how per-replication seeds are derived (see
-    :func:`replication_seeds`).  Remaining keyword arguments —
-    including the simulation ``backend`` — pass through to
-    :func:`simulate`.
+    :mod:`repro.exec.pool` — or over a distributed fleet when
+    ``executor`` (e.g. :class:`repro.dist.DistExecutor`) is given;
+    seeds are derived up front and results are merged in replication
+    order, so any ``jobs``/executor choice produces a bitwise-identical
+    :class:`ReplicationSummary`.  ``on_result(index, result)`` fires in
+    replication order as runs complete.  ``seed_scheme`` selects how
+    per-replication seeds are derived (see :func:`replication_seeds`).
+    Remaining keyword arguments — including the simulation ``backend``
+    — pass through to :func:`simulate`.
     """
     seeds = replication_seeds(replications, base_seed, seed_scheme)
     results = parallel_map(
         _simulate_job,
         [(topology, capacities, duration, seed, kwargs) for seed in seeds],
         jobs=jobs,
+        executor=executor,
+        on_result=on_result,
     )
     return ReplicationSummary(results)

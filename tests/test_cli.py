@@ -161,3 +161,111 @@ class TestRuntimeFlags:
             "--cache-max-mb", "64",
         ]) == 2
         assert "cache" in capsys.readouterr().err
+
+
+class TestScenariosListing:
+    def test_families_show_grammar_and_resolvable_example(self, capsys):
+        from repro import scenarios
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        # Every parametric family states its parameter grammar and one
+        # concrete member name that actually resolves.
+        assert out.count("parameters: ") >= len(scenarios.families())
+        for family in scenarios.families():
+            assert family.grammar and family.grammar in out
+            assert family.example
+            spec = scenarios.get(family.example)
+            assert spec.name == family.example  # canonical spelling
+            assert f"example: {spec.name}" in out
+
+
+class TestProgressFlag:
+    def test_simulate_progress_lines_on_stderr(self, arch_file, capsys):
+        assert main([
+            "simulate", arch_file, "--budget", "12",
+            "--policy", "uniform", "--duration", "200", "--reps", "2",
+            "--progress",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "progress: replication 0 done" in err
+        assert "progress: replication 1 done" in err
+
+    def test_table1_accepts_progress_and_dist_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--progress", "--dist", "broker:7070"]
+        )
+        assert args.progress is True
+        assert args.dist == "broker:7070"
+
+
+class TestDistCli:
+    def test_dist_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dist"])
+
+    def test_serve_worker_run_flags_parse(self):
+        args = build_parser().parse_args(
+            ["dist", "serve", "--port", "0", "--lease-timeout", "2.5"]
+        )
+        assert args.port == 0 and args.lease_timeout == 2.5
+        args = build_parser().parse_args([
+            "dist", "worker", "host:7070",
+            "--cache-dir", "/tmp/c", "--prefetch", "3", "--max-idle", "5",
+        ])
+        assert args.address == "host:7070"
+        assert args.prefetch == 3 and args.max_idle == 5.0
+        args = build_parser().parse_args([
+            "dist", "run", "--scenario", "amba", "--scenario", "fig1",
+            "--budgets", "8,12", "--reps", "2", "--verify-local",
+        ])
+        assert args.scenario == ["amba", "fig1"]
+        assert args.budgets == "8,12" and args.verify_local is True
+
+    def test_worker_cache_bound_requires_dir(self, capsys):
+        assert main([
+            "dist", "worker", "127.0.0.1:1", "--cache-max-mb", "8",
+        ]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_run_local_matrix_with_artifacts(self, tmp_path, capsys):
+        # Without --dist the fleet driver runs the same job matrix on
+        # the local path; --verify-local re-runs it serially and
+        # asserts the bitwise-identity contract end to end.
+        out_json = tmp_path / "fleet.json"
+        assert main([
+            "dist", "run", "--scenario", "single-bus-4",
+            "--budgets", "8", "--reps", "2", "--duration", "100",
+            "--jobs", "2", "--verify-local", "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise-identical" in out
+        assert "single-bus-4" in out
+        import json
+
+        cells = json.loads(out_json.read_text())
+        assert cells[0]["scenario"] == "single-bus-4"
+        assert cells[0]["summary"]["__type__"] == "ReplicationSummary"
+
+    def test_run_unknown_scenario_is_an_error(self, capsys):
+        assert main([
+            "dist", "run", "--scenario", "no-such", "--reps", "1",
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestDistCliValidation:
+    def test_malformed_budgets_is_a_clean_error(self, capsys):
+        assert main([
+            "dist", "run", "--scenario", "single-bus-4",
+            "--budgets", "8x,12", "--reps", "1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--budgets" in err
+
+    def test_authkey_runtime_flag_parses(self):
+        args = build_parser().parse_args([
+            "simulate", "a.soc", "--budget", "8",
+            "--dist", "h:1", "--authkey", "secret",
+        ])
+        assert args.authkey == "secret"

@@ -1,0 +1,774 @@
+"""Tests for repro.dist — distributed work-stealing execution.
+
+Covers the broker protocol (lease/steal/reap state machine, with an
+injectable clock), the shared cache tier (read-through, write-through,
+publish gating), and the end-to-end contracts: a fleet map merges
+bitwise-identically to the serial loop for any worker count, steal
+order, or worker death mid-job, and a second worker reuses the first
+worker's converged sizing through the shared store.
+"""
+
+import multiprocessing
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dist import (
+    Broker,
+    BrokerServer,
+    CacheTier,
+    DistExecutor,
+    JobPayload,
+    build_matrix,
+    parse_address,
+    run_matrix,
+    worker_loop,
+)
+from repro.dist.jobs import echo, run_block
+from repro.errors import ReproError
+from repro.exec import ExecutionContext, ResultCache
+from repro.exec.pool import parallel_map
+from repro.sim.runner import replicate
+
+#: Short lease so dead-worker tests run in seconds; long enough that a
+#: loaded CI box never reaps a live worker (they beat every lease/4).
+LEASE_TIMEOUT = 2.0
+
+_FORK = multiprocessing.get_context("fork")
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise ValueError(f"kaboom on {x}")
+
+
+def _stall_once_then_cache(item):
+    """First attempt stalls forever (to be killed); retry caches a value.
+
+    The marker file distinguishes attempts across worker processes; the
+    cache publish happens strictly after the stall, so a worker killed
+    mid-job can never have published anything.
+    """
+    from repro.dist import jobs as dist_jobs
+
+    marker = Path(item["marker"])
+    if not marker.exists():
+        marker.write_text("attempt-1")
+        time.sleep(120)
+    tier = dist_jobs.active_cache()
+    return tier.fetch(
+        "test-kind", {"k": item["key"]}, lambda: item["value"]
+    )
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _start_worker(address, **kwargs):
+    kwargs.setdefault("poll_interval", 0.02)
+    process = _FORK.Process(
+        target=worker_loop, args=(address,), kwargs=kwargs, daemon=True
+    )
+    process.start()
+    return process
+
+
+@pytest.fixture()
+def server():
+    broker_server = BrokerServer(
+        port=0, lease_timeout=LEASE_TIMEOUT
+    ).start_in_thread()
+    yield broker_server
+    broker_server.stop()
+
+
+class TestParseAddress:
+    def test_host_port_string(self):
+        assert parse_address("127.0.0.1:7070") == ("127.0.0.1", 7070)
+
+    def test_pair(self):
+        assert parse_address(("broker", 9)) == ("broker", 9)
+
+    def test_rejects_garbage(self):
+        for bad in ("no-port", "host:", ":70", 7, "host:port"):
+            with pytest.raises(ReproError):
+                parse_address(bad)
+
+
+class TestBrokerProtocol:
+    def test_submit_pull_complete_roundtrip(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, i) for i in range(3)])
+        leased = broker.pull("w1", max_jobs=3)
+        assert [job_id for job_id, _ in leased] == [
+            ("b", 0), ("b", 1), ("b", 2)
+        ]
+        for job_id, payload in leased:
+            assert broker.start("w1", job_id)
+            broker.complete("w1", job_id, payload.fn(payload.item))
+        assert broker.fetch_ready("b", 0) == [0, 1, 2]
+        assert broker.batch_status("b") == (3, 3)
+
+    def test_fetch_ready_is_contiguous_prefix(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, i) for i in range(3)])
+        leased = broker.pull("w1", max_jobs=3)
+        # Complete out of order: index 2 first.
+        broker.start("w1", leased[2][0])
+        broker.complete("w1", leased[2][0], 2)
+        assert broker.fetch_ready("b", 0) == []
+        broker.start("w1", leased[0][0])
+        broker.complete("w1", leased[0][0], 0)
+        assert broker.fetch_ready("b", 0) == [0]
+
+    def test_idle_worker_steals_unstarted_lease(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, i) for i in range(4)])
+        leased = broker.pull("w1", max_jobs=4)
+        assert len(leased) == 4
+        stolen = broker.pull("w2", max_jobs=1)
+        # The tail of the victim's lease is stolen — the job w1 would
+        # reach last.
+        assert [job_id for job_id, _ in stolen] == [("b", 3)]
+        assert broker.stats()["steals"] == 1
+        # The victim's start on the stolen job is refused; the thief's
+        # is granted.  No job can run twice because of a steal.
+        assert broker.start("w1", ("b", 3)) is False
+        assert broker.start("w2", ("b", 3)) is True
+
+    def test_started_jobs_are_not_stealable(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, 0)])
+        (job_id, _), = broker.pull("w1", max_jobs=1)
+        assert broker.start("w1", job_id)
+        assert broker.pull("w2", max_jobs=1) == []
+
+    def test_dead_worker_jobs_reenqueued_in_index_order(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=1.0, clock=clock)
+        broker.submit("b", [JobPayload(echo, i) for i in range(3)])
+        leased = broker.pull("w1", max_jobs=2)
+        assert broker.start("w1", leased[0][0])  # dies mid-execution
+        clock.advance(1.5)
+        granted = broker.pull("w2", max_jobs=3)
+        # Both of w1's leases (started or not) come back, at the front
+        # of the queue and in index order, ahead of the never-leased
+        # job 2.
+        assert [job_id for job_id, _ in granted] == [
+            ("b", 0), ("b", 1), ("b", 2)
+        ]
+        assert broker.stats()["reaped_jobs"] == 2
+        assert broker.stats()["workers"] == 1
+
+    def test_duplicate_completion_is_ignored(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=1.0, clock=clock)
+        broker.submit("b", [JobPayload(echo, 0)])
+        (job_id, _), = broker.pull("w1", max_jobs=1)
+        broker.start("w1", job_id)
+        clock.advance(1.5)  # w1 presumed dead
+        (rejob, _), = broker.pull("w2", max_jobs=1)
+        assert rejob == job_id
+        broker.complete("w2", job_id, "w2-result")
+        # The slow-but-alive w1 finishes too; jobs are pure so both
+        # results are the same bits — first one in wins, harmlessly.
+        broker.complete("w1", job_id, "w1-result")
+        assert broker.fetch_ready("b", 0) == ["w2-result"]
+
+    def test_drop_batch_forgets_everything(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, i) for i in range(3)])
+        broker.pull("w1", max_jobs=1)
+        broker.drop_batch("b")
+        with pytest.raises(ReproError):
+            broker.batch_status("b")
+        assert broker.pull("w1", max_jobs=3) == []
+
+    def test_duplicate_batch_id_rejected(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, 0)])
+        with pytest.raises(ReproError):
+            broker.submit("b", [JobPayload(echo, 1)])
+
+    def test_invalid_lease_timeout(self):
+        with pytest.raises(ReproError):
+            Broker(lease_timeout=0)
+
+
+class TestBrokerCacheStore:
+    def test_get_put_roundtrip_and_stats(self):
+        broker = Broker()
+        assert broker.cache_get("k") is None
+        broker.cache_put("k", b"blob")
+        assert broker.cache_get("k") == b"blob"
+        stats = broker.cache_stats()
+        assert stats["entries"] == 1
+        assert stats["gets"] == 2
+        assert stats["hits"] == 1
+        assert stats["puts"] == 1
+
+    def test_lru_bound_evicts_oldest(self):
+        broker = Broker(cache_max_bytes=100)
+        broker.cache_put("a", b"x" * 60)
+        broker.cache_put("b", b"y" * 60)  # pushes out "a"
+        assert broker.cache_get("a") is None
+        assert broker.cache_get("b") is not None
+        assert broker.cache_stats()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        broker = Broker(cache_max_bytes=100)
+        broker.cache_put("a", b"x" * 40)
+        broker.cache_put("b", b"y" * 40)
+        broker.cache_get("a")  # a is now the most recent
+        broker.cache_put("c", b"z" * 40)  # evicts b, not a
+        assert broker.cache_get("a") is not None
+        assert broker.cache_get("b") is None
+
+
+class TestCacheTier:
+    def test_same_keys_as_disk_store(self, tmp_path):
+        tier = CacheTier(remote=Broker())
+        disk = ResultCache(tmp_path)
+        payload = {"topology": {"name": "t"}, "budget": 4}
+        assert tier.key("sizing", payload) == disk.key("sizing", payload)
+
+    def test_write_through_and_cross_worker_read_through(self, tmp_path):
+        broker = Broker()
+        tier_a = CacheTier(
+            remote=broker, local=ResultCache(tmp_path / "a")
+        )
+        computes = []
+
+        def compute():
+            computes.append(1)
+            return {"answer": 41}
+
+        assert tier_a.fetch("kind", {"x": 1}, compute) == {"answer": 41}
+        assert computes == [1]
+        assert tier_a.publishes == 1
+        # A different worker (fresh tier, its own disk) hits the shared
+        # store without recomputing, and writes back to its local tier.
+        tier_b = CacheTier(
+            remote=broker, local=ResultCache(tmp_path / "b")
+        )
+        assert tier_b.fetch(
+            "kind", {"x": 1}, lambda: pytest.fail("must not recompute")
+        ) == {"answer": 41}
+        assert tier_b.shared_hits == 1
+        hit, value = tier_b.local.get(tier_b.key("kind", {"x": 1}))
+        assert hit and value == {"answer": 41}
+        # Third read is now a pure local hit — the network round-trip
+        # is paid once per key.
+        tier_b.lookup(tier_b.key("kind", {"x": 1}))
+        assert tier_b.local_hits == 1
+
+    def test_local_tier_is_optional(self):
+        broker = Broker()
+        tier = CacheTier(remote=broker)
+        tier.put("k-no-local", 7)
+        hit, value = tier.lookup("k-no-local")
+        assert hit and value == 7
+        assert tier.shared_hits == 1
+
+    def test_should_store_veto_never_publishes(self):
+        broker = Broker()
+        tier = CacheTier(remote=broker)
+        value = tier.fetch(
+            "kind", {"x": 2}, lambda: 99, should_store=lambda v: False
+        )
+        assert value == 99
+        assert broker.cache_stats()["entries"] == 0
+        assert tier.publishes == 0
+
+    def test_corrupt_shared_blob_reads_as_miss(self):
+        broker = Broker()
+        tier = CacheTier(remote=broker)
+        key = tier.key("kind", {"x": 3})
+        broker.cache_put(key, b"not a pickle")
+        hit, value = tier.lookup(key)
+        assert not hit and value is None
+        assert tier.misses == 1
+
+
+class TestDistExecutor:
+    def test_map_matches_serial_any_worker_count(self, server):
+        workers = [_start_worker(server.address) for _ in range(2)]
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=60
+            )
+            items = list(range(23))
+            assert executor.map(_double, items) == [2 * x for x in items]
+        finally:
+            for worker in workers:
+                worker.terminate()
+
+    def test_on_result_streams_in_index_order(self, server):
+        worker = _start_worker(server.address)
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=60
+            )
+            seen = []
+            executor.map(
+                _double,
+                range(7),
+                on_result=lambda i, r: seen.append((i, r)),
+            )
+            assert seen == [(i, 2 * i) for i in range(7)]
+        finally:
+            worker.terminate()
+
+    def test_empty_map_is_empty(self, server):
+        executor = DistExecutor(server.address, timeout=5)
+        assert executor.map(_double, []) == []
+
+    def test_job_exception_reraises_with_worker_traceback(self, server):
+        worker = _start_worker(server.address)
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=60
+            )
+            with pytest.raises(ReproError) as excinfo:
+                executor.map(_boom, [5])
+            assert "kaboom on 5" in str(excinfo.value)
+            assert "worker traceback" in str(excinfo.value)
+        finally:
+            worker.terminate()
+
+    def test_timeout_without_workers_is_an_error_not_a_hang(self, server):
+        executor = DistExecutor(
+            server.address, poll_interval=0.02, timeout=0.4
+        )
+        with pytest.raises(ReproError) as excinfo:
+            executor.map(_double, [1, 2])
+        assert "worker" in str(excinfo.value)
+
+    def test_plugs_into_parallel_map_and_replicate(self, server, amba):
+        worker = _start_worker(server.address)
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=120
+            )
+            assert parallel_map(_double, range(5), executor=executor) == [
+                2 * x for x in range(5)
+            ]
+            capacities = {name: 3 for name in amba.processors}
+            distributed = replicate(
+                amba,
+                capacities,
+                replications=2,
+                duration=150.0,
+                executor=executor,
+            )
+            serial = replicate(
+                amba, capacities, replications=2, duration=150.0
+            )
+            assert distributed.results == serial.results
+        finally:
+            worker.terminate()
+
+
+@pytest.fixture(scope="module")
+def amba():
+    from repro.arch.templates import amba_like
+
+    return amba_like()
+
+
+class TestWorkerFailureRecovery:
+    def test_killed_worker_job_reenqueued_merge_identical_no_publish(
+        self, server, tmp_path
+    ):
+        """The satellite contract: kill a worker mid-job.
+
+        The job must be re-enqueued and completed by a surviving
+        worker, the merged result must equal the serial answer, and
+        the aborted attempt must have published nothing to the shared
+        cache (exactly one publish: the successful attempt's).
+        """
+        marker = tmp_path / "attempt.marker"
+        item = {"marker": str(marker), "key": "recovery", "value": 42}
+        victim = _start_worker(server.address)
+        outcome = {}
+
+        def drive():
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=90
+            )
+            outcome["result"] = executor.map(
+                _stall_once_then_cache, [item]
+            )
+
+        driver = threading.Thread(target=drive)
+        driver.start()
+        # Wait until the victim is provably mid-job, then kill it hard.
+        deadline = time.monotonic() + 30
+        while not marker.exists():
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.02)
+        victim.kill()
+        victim.join()
+        survivor = _start_worker(server.address)
+        try:
+            driver.join(timeout=60)
+            assert not driver.is_alive(), "batch never completed"
+            # Bitwise-identical to what the serial loop would return.
+            assert outcome["result"] == [42]
+            broker = server.broker
+            assert broker.stats()["reaped_jobs"] >= 1
+            stats = broker.cache_stats()
+            assert stats["puts"] == 1  # only the successful attempt
+            assert stats["entries"] == 1
+        finally:
+            survivor.terminate()
+
+
+class TestFleetMatrix:
+    MATRIX = dict(
+        budgets=[8, 16], replications=2, duration=100.0
+    )
+
+    def test_build_matrix_enumerates_in_order(self):
+        payloads = build_matrix(
+            ["single-bus-4"], budgets=[8, 16], replications=3,
+            block_reps=2,
+        )
+        slices = [
+            (p["budget"], p["start"], p["stop"]) for p in payloads
+        ]
+        assert slices == [(8, 0, 2), (8, 2, 3), (16, 0, 2), (16, 2, 3)]
+        assert all(p["scenario"] == "single-bus-4" for p in payloads)
+
+    def test_build_matrix_defaults_to_scenario_axis(self):
+        payloads = build_matrix(["amba"], replications=1)
+        from repro import scenarios
+
+        assert [p["budget"] for p in payloads] == list(
+            scenarios.get("amba").budgets
+        )
+
+    def test_build_matrix_validation(self):
+        with pytest.raises(ReproError):
+            build_matrix([])
+        with pytest.raises(ReproError):
+            build_matrix(["single-bus-4"], replications=0)
+        with pytest.raises(ReproError):
+            build_matrix(["single-bus-4"], block_reps=0)
+        with pytest.raises(ReproError):
+            build_matrix(["no-such-scenario"])
+
+    def test_serial_pooled_identical(self):
+        serial = run_matrix(["single-bus-4"], jobs=1, **self.MATRIX)
+        pooled = run_matrix(["single-bus-4"], jobs=2, **self.MATRIX)
+        assert pooled.to_jsonable() == serial.to_jsonable()
+
+    def test_distributed_identical_even_under_worker_death(self, server):
+        workers = [_start_worker(server.address) for _ in range(2)]
+        killer = threading.Timer(0.4, workers[0].kill)
+        killer.start()
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=240
+            )
+            distributed = run_matrix(
+                ["single-bus-4"], executor=executor, **self.MATRIX
+            )
+        finally:
+            killer.cancel()
+            for worker in workers:
+                worker.terminate()
+        serial = run_matrix(["single-bus-4"], jobs=1, **self.MATRIX)
+        assert distributed.to_jsonable() == serial.to_jsonable()
+
+    def test_second_worker_reuses_first_workers_sizing(self, server):
+        """The shared-tier contract: cross-worker sizing reuse."""
+        matrix = dict(budgets=[8], replications=2, duration=100.0)
+        first = _start_worker(server.address)
+        executor = DistExecutor(
+            server.address, poll_interval=0.02, timeout=240
+        )
+        try:
+            run_one = run_matrix(
+                ["single-bus-4"], executor=executor, **matrix
+            )
+        finally:
+            first.terminate()
+            first.join()
+        broker = server.broker
+        stats_after_first = broker.cache_stats()
+        assert stats_after_first["puts"] >= 1  # first worker published
+        second = _start_worker(server.address)
+        try:
+            run_two = run_matrix(
+                ["single-bus-4"], executor=executor, **matrix
+            )
+        finally:
+            second.terminate()
+        stats_after_second = broker.cache_stats()
+        # Every block of the second run read the first worker's
+        # converged sizing out of the shared store instead of
+        # recomputing: hits grew, publishes did not.
+        assert (
+            stats_after_second["hits"]
+            >= stats_after_first["hits"] + 2
+        )
+        assert stats_after_second["puts"] == stats_after_first["puts"]
+        assert run_two.to_jsonable() == run_one.to_jsonable()
+
+    def test_run_block_is_pure_in_its_payload(self):
+        payload = {
+            "scenario": "single-bus-4",
+            "budget": 8,
+            "replications": 2,
+            "start": 0,
+            "stop": 2,
+            "duration": 100.0,
+            "base_seed": 0,
+            "seed_scheme": "legacy",
+            "sim_backend": "batched",
+        }
+        first = run_block(dict(payload))
+        second = run_block(dict(payload))
+        assert first == second
+        assert first.sizes and sum(first.sizes.values()) == 8
+
+    def test_render_and_json_artifacts(self, tmp_path):
+        outcome = run_matrix(
+            ["single-bus-4"], budgets=[8], replications=2, duration=100.0
+        )
+        table = outcome.render()
+        assert "single-bus-4" in table and "mean loss" in table
+        path = tmp_path / "fleet.json"
+        outcome.write_json(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload[0]["scenario"] == "single-bus-4"
+        assert payload[0]["budget"] == 8
+
+
+class TestExecutionContextIntegration:
+    def test_create_dist_builds_executor(self):
+        context = ExecutionContext.create(dist="127.0.0.1:1")
+        assert isinstance(context.executor, DistExecutor)
+        assert context.executor.address == ("127.0.0.1", 1)
+
+    def test_context_replicate_runs_on_fleet(self, server, amba):
+        worker = _start_worker(server.address)
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=120
+            )
+            context = ExecutionContext(executor=executor)
+            capacities = {name: 3 for name in amba.processors}
+            distributed = context.replicate(
+                amba, capacities, replications=2, duration=150.0
+            )
+            serial = ExecutionContext().replicate(
+                amba, capacities, replications=2, duration=150.0
+            )
+            assert distributed.results == serial.results
+        finally:
+            worker.terminate()
+
+
+class TestDriverDeathAndStalls:
+    def test_abandoned_batches_dropped_after_ttl(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=1.0, batch_ttl=5.0, clock=clock)
+        broker.submit("orphan", [JobPayload(echo, i) for i in range(3)])
+        clock.advance(6.0)
+        # Any traffic triggers the reap; the dead driver's batch (jobs,
+        # results, bookkeeping) is gone and workers get nothing to burn
+        # CPU on.
+        assert broker.pull("w1", max_jobs=3) == []
+        assert broker.stats()["dropped_batches"] == 1
+        assert broker.stats()["batches"] == 0
+        with pytest.raises(ReproError):
+            broker.batch_status("orphan")
+
+    def test_live_driver_polling_keeps_batch_alive(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=1.0, batch_ttl=5.0, clock=clock)
+        broker.submit("alive", [JobPayload(echo, 0)])
+        for _ in range(4):
+            clock.advance(3.0)
+            broker.fetch_ready("alive", 0)  # refreshes the TTL
+        assert broker.stats()["dropped_batches"] == 0
+        assert broker.batch_status("alive") == (0, 1)
+
+    def test_no_workers_errors_after_grace_instead_of_hanging(
+        self, server
+    ):
+        executor = DistExecutor(
+            server.address, poll_interval=0.02, no_worker_grace=0.3
+        )
+        with pytest.raises(ReproError) as excinfo:
+            executor.map(_double, [1, 2])
+        assert "no live workers" in str(excinfo.value)
+
+    def test_unreachable_broker_is_a_clean_error(self):
+        executor = DistExecutor("127.0.0.1:1", timeout=5)
+        with pytest.raises(ReproError) as excinfo:
+            executor.map(_double, [1])
+        assert "cannot connect to broker" in str(excinfo.value)
+
+    def test_wrong_authkey_is_a_clean_error(self, server):
+        executor = DistExecutor(
+            server.address, authkey=b"not-the-secret", timeout=5
+        )
+        with pytest.raises(ReproError) as excinfo:
+            executor.map(_double, [1])
+        assert "authkey" in str(excinfo.value)
+
+
+class TestMatrixDeduplication:
+    def test_duplicate_budgets_and_scenarios_collapse(self):
+        payloads = build_matrix(
+            ["single-bus-4", "single-bus-4"],
+            budgets=[12, 12, 8],
+            replications=2,
+        )
+        cells = [(p["scenario"], p["budget"]) for p in payloads]
+        # One cell per unique (scenario, budget), two blocks each —
+        # never a cell with silently duplicated replications.
+        assert cells == [
+            ("single-bus-4", 12), ("single-bus-4", 12),
+            ("single-bus-4", 8), ("single-bus-4", 8),
+        ]
+
+    def test_family_alias_spellings_collapse(self):
+        payloads = build_matrix(
+            ["random-mesh-04-7", "random-mesh-4-7"],
+            budgets=[16],
+            replications=1,
+        )
+        assert len(payloads) == 1
+        assert payloads[0]["scenario"] == "random-mesh-4-7"
+
+
+class _TricklingBroker:
+    """Fake broker: one result per poll, never finishing fast."""
+
+    def __init__(self, delay=0.04):
+        self.delay = delay
+        self.dropped = False
+        self._count = 0
+
+    def submit(self, batch_id, payloads):
+        self.total = len(payloads)
+
+    def fetch_ready(self, batch_id, start):
+        time.sleep(self.delay)
+        self._count = min(self._count + 1, self.total)
+        return list(range(start, self._count))
+
+    def batch_status(self, batch_id):
+        return (self._count, self.total)
+
+    def stats(self):
+        return {"workers": 1}
+
+    def drop_batch(self, batch_id):
+        self.dropped = True
+
+
+class _DyingBroker(_TricklingBroker):
+    def fetch_ready(self, batch_id, start):
+        raise ConnectionResetError("broker went away")
+
+    def drop_batch(self, batch_id):
+        raise BrokenPipeError("still away")
+
+
+def _plant_fake_broker(executor, fake):
+    class _Conn:
+        broker = fake
+
+    executor._connection = _Conn()
+
+
+class TestDriverRobustness:
+    def test_timeout_enforced_while_results_trickle(self):
+        # Every poll yields one result, so the batch is never idle;
+        # the overall bound must still fire instead of letting the run
+        # exceed it indefinitely.
+        executor = DistExecutor(
+            "127.0.0.1:1", poll_interval=0.01, timeout=0.1
+        )
+        fake = _TricklingBroker(delay=0.04)
+        _plant_fake_broker(executor, fake)
+        with pytest.raises(ReproError) as excinfo:
+            executor.map(echo, list(range(50)))
+        assert "timed out" in str(excinfo.value)
+        assert fake.dropped  # cleanup still ran
+
+    def test_dead_broker_propagates_original_error_not_cleanup(self):
+        executor = DistExecutor("127.0.0.1:1", timeout=5)
+        _plant_fake_broker(executor, _DyingBroker())
+        # The fetch error propagates; the failing drop_batch in the
+        # finally clause must not mask it with its own exception.
+        with pytest.raises(ConnectionResetError):
+            executor.map(echo, [1])
+
+    def test_worker_against_down_broker_is_a_clean_error(self):
+        with pytest.raises(ReproError) as excinfo:
+            worker_loop("127.0.0.1:1")
+        assert "cannot connect to broker" in str(excinfo.value)
+
+
+class TestLocalSizingMemo:
+    def test_cell_sizing_solved_once_per_local_run(self, monkeypatch):
+        from repro.core.sizing import BufferSizer
+        from repro.dist import jobs as dist_jobs
+
+        calls = []
+        original = BufferSizer.size
+
+        def counting(self, topology):
+            calls.append(1)
+            return original(self, topology)
+
+        monkeypatch.setattr(BufferSizer, "size", counting)
+        outcome = run_matrix(
+            ["single-bus-4"], budgets=[8], replications=3, duration=100.0
+        )
+        # Three replication blocks share one cell: one solve, not three.
+        assert len(calls) == 1
+        assert outcome.cells[0].summary.num_replications == 3
+        # The run-scoped memo is uninstalled afterwards.
+        assert dist_jobs.active_cache() is None
+
+    def test_process_memo_supports_the_full_store_interface(self, amba):
+        # sweeps and context.replicate address the cache piecewise
+        # (key/lookup/put), not only through fetch — a memo-backed
+        # context must support every runtime path.
+        from repro.dist.jobs import ProcessMemo
+
+        memo = ProcessMemo()
+        context = ExecutionContext(cache=memo)
+        capacities = {name: 3 for name in amba.processors}
+        first = context.replicate(
+            amba, capacities, replications=2, duration=150.0
+        )
+        second = context.replicate(
+            amba, capacities, replications=2, duration=150.0
+        )
+        assert memo.hits == 1
+        assert first.results == second.results
+        sweep = context.sweep(amba, [10, 10])
+        assert sweep.points[0].result is sweep.points[1].result

@@ -576,3 +576,242 @@ class TestWarmSweeps:
     def test_unknown_budget_rejected(self, warm):
         with pytest.raises(ReproError):
             warm.result_for(999)
+
+
+# ----------------------------------------------------------------------
+# Progress reporting (on_result / ExecutionContext.progress) and the
+# pluggable-executor seam the distributed runtime uses.
+
+
+class _RecordingExecutor:
+    """Stub executor implementing the parallel_map executor protocol."""
+
+    def __init__(self):
+        self.maps = 0
+
+    def map(self, fn, items, on_result=None):
+        self.maps += 1
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+
+class TestOnResult:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_parallel_map_fires_in_index_order(self, jobs):
+        seen = []
+        out = parallel_map(
+            _square,
+            range(9),
+            jobs=jobs,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert out == [i * i for i in range(9)]
+        assert seen == [(i, i * i) for i in range(9)]
+
+    def test_replicate_streams_results_in_replication_order(
+        self, amba, amba_caps
+    ):
+        seen = []
+        summary = replicate(
+            amba,
+            amba_caps,
+            replications=3,
+            duration=150.0,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert [i for i, _ in seen] == [0, 1, 2]
+        assert [r for _, r in seen] == summary.results
+
+    def test_sweep_fires_per_budget_warm_cold_and_cached(
+        self, tmp_path, amba
+    ):
+        budgets = [10, 12]
+        warm_seen = []
+        sweep_budgets(
+            amba,
+            budgets,
+            warm_start=True,
+            on_result=lambda b, r: warm_seen.append(b),
+        )
+        assert warm_seen == budgets
+        cold_seen = []
+        sweep_budgets(
+            amba,
+            budgets,
+            warm_start=False,
+            on_result=lambda b, r: cold_seen.append(b),
+        )
+        assert cold_seen == budgets
+        # Cache hits report too — a fully cached sweep still streams
+        # one event per unique budget.
+        cache = ResultCache(tmp_path)
+        sweep_budgets(amba, budgets, cache=cache)
+        cached_seen = []
+        sweep_budgets(
+            amba,
+            budgets,
+            cache=cache,
+            on_result=lambda b, r: cached_seen.append(b),
+        )
+        assert cached_seen == budgets
+
+
+class TestContextProgressAndExecutor:
+    def test_progress_events_replication_and_sizing(self, amba, amba_caps):
+        events = []
+        context = ExecutionContext(
+            progress=lambda kind, key: events.append((kind, key))
+        )
+        context.replicate(amba, amba_caps, replications=2, duration=150.0)
+        assert events == [("replication", 0), ("replication", 1)]
+        events.clear()
+        context.sweep(amba, [10, 12])
+        assert events == [("sizing", 10), ("sizing", 12)]
+
+    def test_explicit_on_result_wins_over_progress(self, amba, amba_caps):
+        events, seen = [], []
+        context = ExecutionContext(
+            progress=lambda kind, key: events.append((kind, key))
+        )
+        context.replicate(
+            amba,
+            amba_caps,
+            replications=2,
+            duration=150.0,
+            on_result=lambda i, r: seen.append(i),
+        )
+        assert seen == [0, 1]
+        assert events == []
+
+    def test_parallel_map_executor_replaces_pool(self):
+        stub = _RecordingExecutor()
+        assert parallel_map(
+            _square, range(5), jobs=8, executor=stub
+        ) == [i * i for i in range(5)]
+        assert stub.maps == 1
+
+    def test_context_executor_preserves_results(self, amba, amba_caps):
+        stub = _RecordingExecutor()
+        via_executor = ExecutionContext(executor=stub).replicate(
+            amba, amba_caps, replications=2, duration=150.0
+        )
+        serial = ExecutionContext().replicate(
+            amba, amba_caps, replications=2, duration=150.0
+        )
+        assert stub.maps == 1
+        assert via_executor.results == serial.results
+
+    def test_progress_and_executor_never_reach_cache_keys(
+        self, tmp_path, amba, amba_caps
+    ):
+        import dataclasses
+
+        observed = dataclasses.replace(
+            ExecutionContext.create(
+                cache_dir=tmp_path, progress=lambda kind, key: None
+            ),
+            executor=_RecordingExecutor(),
+        )
+        observed.replicate(amba, amba_caps, replications=2, duration=150.0)
+        plain = ExecutionContext.create(cache_dir=tmp_path)
+        plain.replicate(amba, amba_caps, replications=2, duration=150.0)
+        assert plain.cache.hits == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent-writer safety of ResultCache (the shared-tier and parallel
+# CI prerequisite): racing writers/evictors must never crash or corrupt.
+
+
+def _cache_hammer(args):
+    """Pool worker: hammer one shared cache directory with put/get/evict."""
+    root, worker, rounds = args
+    cache = ResultCache(root, max_bytes=4096)
+    for i in range(rounds):
+        key = cache.key("race", {"worker": worker, "i": i % 7})
+        cache.put(key, list(range(50)))
+        cache.lookup(key)
+        # Read keys the *other* writers own, racing their evictions.
+        cache.lookup(cache.key("race", {"worker": (worker + 1) % 4, "i": i % 7}))
+    return cache.evictions
+
+
+class TestCacheConcurrency:
+    def test_racing_processes_never_crash_or_corrupt(self, tmp_path):
+        # Four processes put/get/evict the same directory; any
+        # unhandled FileNotFoundError (stat/unlink/open races) or a
+        # torn entry read would propagate out of parallel_map.
+        parallel_map(
+            _cache_hammer,
+            [(str(tmp_path), w, 40) for w in range(4)],
+            jobs=4,
+        )
+        survivor = ResultCache(tmp_path, max_bytes=4096)
+        key = survivor.key("race", {"post": True})
+        survivor.put(key, "still works")
+        assert survivor.lookup(key) == (True, "still works")
+
+    def test_racing_threads_on_one_instance(self, tmp_path):
+        # The broker serves one ResultCache from many connection
+        # threads; eviction bookkeeping must be serialised.
+        import threading
+
+        cache = ResultCache(tmp_path, max_bytes=2048)
+        errors = []
+
+        def work(tid):
+            try:
+                for i in range(40):
+                    key = cache.key("threads", {"tid": tid, "i": i % 5})
+                    cache.put(key, b"x" * 200)
+                    cache.lookup(key)
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(tid,)) for tid in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # The bound is enforced once the racing writers settle.
+        cache.put(cache.key("threads", {"final": True}), b"y")
+        assert cache.total_bytes() <= 2048
+
+    def test_eviction_tolerates_files_vanishing_underneath(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=200)
+        for i in range(4):
+            cache.put(cache.key("vanish", {"i": i}), b"z" * 120)
+        # Another process "evicts" everything behind this instance's
+        # back; the stale footprint estimate must correct itself
+        # without raising on the vanished files.
+        for path in cache.entry_paths():
+            path.unlink()
+        cache.put(cache.key("vanish", {"i": 99}), b"z" * 120)
+        assert cache.lookup(cache.key("vanish", {"i": 99}))[0]
+
+
+class TestCachedReplicateProgress:
+    def test_cache_hit_still_streams_replication_events(
+        self, tmp_path, amba, amba_caps
+    ):
+        events = []
+        context = ExecutionContext.create(
+            cache_dir=tmp_path,
+            progress=lambda kind, key: events.append((kind, key)),
+        )
+        context.replicate(amba, amba_caps, replications=2, duration=150.0)
+        first = list(events)
+        events.clear()
+        context.replicate(amba, amba_caps, replications=2, duration=150.0)
+        # The second batch is a cache hit; observers still see one
+        # event per replication (as sweep cache hits do), not silence.
+        assert context.cache.hits == 1
+        assert events == first == [("replication", 0), ("replication", 1)]

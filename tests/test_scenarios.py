@@ -433,3 +433,18 @@ class TestScenarioCLI:
 
         assert main(["size", "--scenario", "not-a-scenario"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestFamilyDocumentation:
+    def test_every_family_declares_grammar_and_example(self):
+        for family in scenarios.families():
+            assert family.grammar, f"{family.pattern} lacks a grammar"
+            assert family.example, f"{family.pattern} lacks an example"
+
+    def test_family_examples_resolve_to_canonical_members(self):
+        for family in scenarios.families():
+            spec = scenarios.get(family.example)
+            # The example is spelled canonically, so the listing, the
+            # cache scope and --scenario all agree on one name.
+            assert spec.name == family.example
+            assert spec.topology().processors
