@@ -362,26 +362,38 @@ def _cmd_dist_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budgets(text):
+    if not text:
+        return None
+    try:
+        return [int(part) for part in text.split(",")]
+    except ValueError:
+        raise ReproError(
+            f"invalid --budgets value {text!r}; expected "
+            f"comma-separated integers like 8,16,24"
+        )
+
+
 def _cmd_dist_run(args: argparse.Namespace) -> int:
     """Run a scenario×budget×replication matrix (fleet or local)."""
-    from repro.dist import DistExecutor, run_matrix
+    from repro.dist import DistExecutor, RunJournal, run_matrix
 
     scenario_names = args.scenario or [scenarios.DEFAULT_SCENARIO]
-    budgets = None
-    if args.budgets:
-        try:
-            budgets = [int(part) for part in args.budgets.split(",")]
-        except ValueError:
-            raise ReproError(
-                f"invalid --budgets value {args.budgets!r}; expected "
-                f"comma-separated integers like 8,16,24"
-            )
+    budgets = _parse_budgets(args.budgets)
+    if args.resume and not args.journal:
+        raise ReproError("--resume requires --journal PATH")
+    journal = (
+        RunJournal(args.journal, resume=args.resume)
+        if args.journal
+        else None
+    )
     executor = None
     if args.dist:
         executor = DistExecutor(
             args.dist,
             authkey=args.authkey.encode("utf-8"),
             timeout=args.timeout,
+            on_broker_loss=args.on_broker_loss,
         )
 
     def stream(index, block):
@@ -412,8 +424,19 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         executor=executor,
         on_result=stream if args.progress else None,
+        journal=journal,
         **matrix_kwargs,
     )
+    if journal is not None:
+        print(
+            f"# journal: {journal.hits} block(s) resumed, "
+            f"{journal.records} recorded"
+            + (
+                f", {journal.quarantined} quarantined"
+                if journal.quarantined
+                else ""
+            )
+        )
     if args.verify_local:
         # The acceptance contract, end to end: the distributed (or
         # pooled) run must merge bitwise-identically to the serial
@@ -444,6 +467,54 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         outcome.write_json(args.json)
         print(f"# wrote {args.json}")
     return 0
+
+
+def _cmd_dist_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection matrix; non-zero exit on any mismatch."""
+    import json as json_module
+
+    from repro.faults.chaos import run_chaos_matrix
+    from repro.faults.plan import standard_plans
+
+    scenario_names = args.scenario or [scenarios.DEFAULT_SCENARIO]
+    plans = standard_plans(seed=args.seed)
+    if args.fault:
+        unknown = sorted(set(args.fault) - set(plans))
+        if unknown:
+            raise ReproError(
+                f"unknown fault plan(s) {unknown}; available: "
+                f"{sorted(plans)}"
+            )
+        plans = {name: plans[name] for name in args.fault}
+    report = run_chaos_matrix(
+        scenario_names,
+        budgets=_parse_budgets(args.budgets),
+        replications=args.reps,
+        duration=args.duration,
+        base_seed=args.seed,
+        sim_backend=args.sim_backend,
+        block_reps=args.block_reps,
+        plans=plans,
+        modes=tuple(args.mode) if args.mode else ("serial", "jobs", "dist"),
+        jobs=args.jobs,
+        workers=args.workers,
+        log_dir=args.log_dir,
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json_module.dump(
+                {
+                    "all_match": report.all_match,
+                    "cases": [vars(case) for case in report.cases],
+                },
+                fh,
+                sort_keys=True,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"# wrote {args.json}")
+    return 0 if report.all_match else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -647,7 +718,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="write the canonical JSON artifact of the run",
     )
+    p_run.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="record every completed block in this journal directory "
+        "(atomic, checksummed) so a killed run can be resumed",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing --journal: journaled blocks are "
+        "reused without recomputing (the matrix configuration must "
+        "be identical)",
+    )
+    p_run.add_argument(
+        "--on-broker-loss", choices=("fallback", "fail"),
+        default="fallback",
+        help="when the broker dies mid-run: 'fallback' finishes the "
+        "unfinished blocks on the local pool (same results), 'fail' "
+        "raises (default: fallback)",
+    )
     p_run.set_defaults(func=_cmd_dist_run)
+
+    p_chaos = dist_sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection matrix and assert "
+        "every outcome is bitwise-identical to the fault-free serial "
+        "run",
+    )
+    p_chaos.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to include (repeatable; default: netproc)",
+    )
+    p_chaos.add_argument(
+        "--budgets", default=None,
+        help="comma-separated budget axis applied to every scenario",
+    )
+    p_chaos.add_argument("--reps", type=int, default=2)
+    p_chaos.add_argument("--duration", type=float, default=60.0)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--sim-backend", choices=("heap", "batched"), default="batched"
+    )
+    p_chaos.add_argument("--block-reps", type=int, default=1)
+    p_chaos.add_argument(
+        "--fault", action="append", default=None, metavar="PLAN",
+        help="fault plan to run (repeatable; default: the full "
+        "standard set — see repro.faults.plan.standard_plans)",
+    )
+    p_chaos.add_argument(
+        "--mode", action="append", default=None,
+        choices=("serial", "jobs", "dist"),
+        help="execution mode to cover (repeatable; default: all three)",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=2,
+        help="pool width of the 'jobs' mode",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="fleet size of the 'dist' mode (the first worker gets "
+        "the fault plan)",
+    )
+    p_chaos.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help="collect one fault-injection log per (plan, mode) case",
+    )
+    p_chaos.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the case table as JSON",
+    )
+    p_chaos.set_defaults(func=_cmd_dist_chaos)
 
     p_tab1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     _add_scenario_flag(p_tab1)

@@ -17,14 +17,18 @@ of worker count, steal order, or worker death mid-job:
 * :mod:`repro.dist.cachetier` — the read-through/write-through shared
   cache tier layered over :class:`~repro.exec.ResultCache`;
 * :mod:`repro.dist.fleet` — the fleet driver (``repro dist run``)
-  enumerating registry scenarios into a job matrix.
+  enumerating registry scenarios into a job matrix;
+* :mod:`repro.dist.journal` — :class:`RunJournal`, the checkpoint
+  store behind ``repro dist run --journal/--resume``.
 
-See ``docs/distributed.md`` for the protocol and the contracts.
+See ``docs/distributed.md`` for the protocol and the contracts, and
+``docs/robustness.md`` for the failure modes and recovery machinery.
 """
 
 from repro.dist.cachetier import CacheTier
 from repro.dist.executor import DistExecutor
 from repro.dist.fleet import FleetCell, FleetOutcome, build_matrix, run_matrix
+from repro.dist.journal import RunJournal
 from repro.dist.queue import (
     DEFAULT_AUTHKEY,
     DEFAULT_LEASE_TIMEOUT,
@@ -50,6 +54,7 @@ __all__ = [
     "FleetOutcome",
     "JobFailure",
     "JobPayload",
+    "RunJournal",
     "build_matrix",
     "connect",
     "parse_address",

@@ -23,17 +23,29 @@ local cache — ``fetch(..., should_store=...)`` still gates
 non-converged sizing results, and a worker killed mid-job publishes
 nothing, because ``put`` only ever runs after ``compute()`` returned.
 
-Values cross the wire as explicit pickle blobs (``pickle.dumps`` with
-the highest protocol), the same bytes the disk store writes, so a
-result round-trips bit-exactly through either tier.
+Values cross the wire inside the same checksummed envelope the disk
+store writes (:func:`repro.exec.cache.pack_entry`: magic, sha256,
+pickle), so a blob damaged anywhere — on the broker, in transit, by an
+injected fault — fails verification *before* unpickling and reads as a
+miss (counted in :attr:`CacheTier.quarantined`), never as wrong bytes.
+
+Robustness: remote calls run under a :class:`~repro.retry.RetryPolicy`
+(transient transport errors are retried with capped backoff), and a
+remote that stays down after the retries are exhausted flips the tier
+into **local-only degraded mode** — sizing runs keep completing on
+local compute + local cache instead of dying on a lost broker.  Fault
+plans inject at the ``cachetier.get`` / ``cachetier.put`` action hooks
+and damage bytes at the ``cachetier.blob`` transform hook.
 """
 
 from __future__ import annotations
 
-import pickle
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.exec.cache import ResultCache, entry_key
+from repro.errors import is_transient
+from repro.faults import injector as faults
+from repro.retry import DEFAULT_RETRY, RetryPolicy
+from repro.exec.cache import ResultCache, entry_key, pack_entry, unpack_entry
 
 __all__ = ["CacheTier"]
 
@@ -50,6 +62,14 @@ class CacheTier:
     local:
         Optional :class:`ResultCache`; ``None`` makes the shared store
         the only tier (a worker launched without ``--cache-dir``).
+    retry:
+        Backoff policy for remote store calls.
+    degrade_on_loss:
+        When ``True`` (default), a remote call that still fails with a
+        transient transport error after the retries are exhausted marks
+        the remote store down (:attr:`remote_down`) and the tier keeps
+        serving from the local store alone; ``False`` re-raises, for
+        callers that would rather fail than silently lose pooling.
 
     Attributes
     ----------
@@ -59,18 +79,49 @@ class CacheTier:
         work unchanged on a tier.
     local_hits / shared_hits / publishes:
         Tier-resolved diagnostics.
+    quarantined:
+        Shared blobs that failed envelope verification (damaged on the
+        broker or in transit) and were treated as misses.
+    remote_down:
+        ``True`` once the tier has degraded to local-only operation.
     """
 
     def __init__(
-        self, remote, local: Optional[ResultCache] = None
+        self,
+        remote,
+        local: Optional[ResultCache] = None,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        degrade_on_loss: bool = True,
     ) -> None:
         self.remote = remote
         self.local = local
+        self.retry = retry
+        self.degrade_on_loss = degrade_on_loss
         self.hits = 0
         self.misses = 0
         self.local_hits = 0
         self.shared_hits = 0
         self.publishes = 0
+        self.quarantined = 0
+        self.remote_down = False
+
+    # -- remote plumbing -----------------------------------------------
+
+    def _remote_call(self, describe: str, call: Callable[[], Any]) -> Any:
+        """Run one remote-store RPC under the retry policy.
+
+        Exhausted transient failures either degrade the tier to
+        local-only (``degrade_on_loss``) or re-raise; the sentinel
+        return ``None`` is indistinguishable from a miss by design —
+        a lost shared store *is* a missing tier.
+        """
+        try:
+            return self.retry.call(call, describe=describe)
+        except Exception as exc:
+            if self.degrade_on_loss and is_transient(exc):
+                self.remote_down = True
+                return None
+            raise
 
     # -- the ResultCache interface -------------------------------------
 
@@ -87,13 +138,21 @@ class CacheTier:
                 self.hits += 1
                 self.local_hits += 1
                 return True, value
-        blob = self.remote.cache_get(key)
+        blob = None
+        if not self.remote_down:
+            def _get():
+                faults.fire("cachetier.get", key=key)
+                return self.remote.cache_get(key)
+
+            blob = self._remote_call(f"shared cache get {key[:12]}", _get)
         if blob is not None:
+            blob = faults.transform("cachetier.blob", blob)
             try:
-                value = pickle.loads(blob)
+                value = unpack_entry(blob)
             except Exception:
-                # A damaged blob reads as a miss, mirroring the disk
-                # store's corrupt-entry tolerance.
+                # A damaged blob must never deserialize into a wrong
+                # value: verification failed, count it and miss.
+                self.quarantined += 1
                 self.misses += 1
                 return False, None
             self.hits += 1
@@ -108,10 +167,17 @@ class CacheTier:
         """Write-through: the local store and the shared store."""
         if self.local is not None:
             self.local.put(key, value)
-        self.remote.cache_put(
-            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        self.publishes += 1
+        if self.remote_down:
+            return
+        blob = pack_entry(value)
+
+        def _put():
+            faults.fire("cachetier.put", key=key)
+            self.remote.cache_put(key, blob)
+            return True
+
+        if self._remote_call(f"shared cache put {key[:12]}", _put):
+            self.publishes += 1
 
     def fetch(
         self,

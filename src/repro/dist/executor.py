@@ -14,6 +14,24 @@ back as a growing contiguous prefix (firing ``on_result`` in order),
 polling drives the broker's dead-worker reaping, and a
 :class:`~repro.dist.queue.JobFailure` shipped back by any worker
 re-raises here with the worker-side traceback attached.
+
+Robustness: every broker RPC runs under a
+:class:`~repro.retry.RetryPolicy` — a dropped connection tears down
+the cached proxy and reconnects on the next attempt, so transient
+transport blips are invisible above the executor.  A broker that stays
+gone (or that restarted and forgot the batch) is *broker loss*; what
+happens then is the ``on_broker_loss`` policy:
+
+* ``"fallback"`` (default) — the unfinished tail of the batch is
+  re-run on the **local process pool** with the same submission-order
+  merge, so the combined results are bitwise-identical to what the
+  fleet would have produced (jobs are pure; completed prefix + locally
+  computed tail = the serial answer).  Degraded, not dead.
+* ``"fail"`` — raise a :class:`~repro.errors.ReproError` describing
+  the loss, for callers that must not silently absorb a fleet outage.
+
+Fault plans (:mod:`repro.faults`) inject at the ``executor.submit``
+and ``executor.fetch_ready`` hooks.
 """
 
 from __future__ import annotations
@@ -32,9 +50,14 @@ from repro.dist.queue import (
     connect,
     parse_address,
 )
-from repro.errors import ReproError
+from repro.errors import BrokerUnavailableError, ReproError
+from repro.faults import injector as faults
+from repro.retry import DEFAULT_RETRY, RetryPolicy
 
 __all__ = ["DistExecutor"]
+
+#: Transport errors meaning "the broker went away mid-conversation".
+_BROKER_GONE = (ConnectionError, EOFError, OSError)
 
 
 class DistExecutor:
@@ -58,6 +81,21 @@ class DistExecutor:
         workers that were never started and fleets whose last worker
         died mid-run; generous enough for `dist run` issued while the
         workers are still spinning up).
+    retry:
+        Backoff policy for broker connects and per-RPC transient
+        failures (each retry reconnects from scratch).
+    on_broker_loss:
+        ``"fallback"`` re-runs the unfinished batch tail on the local
+        process pool (same merge order, same numbers); ``"fail"``
+        raises instead.
+    fallback_jobs:
+        Process count for the local fallback pool (``None``/``0`` =
+        all cores, matching :func:`~repro.exec.pool.resolve_jobs`).
+
+    Attributes
+    ----------
+    fallbacks:
+        Number of :meth:`map` calls that degraded to the local pool.
     """
 
     def __init__(
@@ -67,28 +105,94 @@ class DistExecutor:
         poll_interval: float = 0.05,
         timeout: Optional[float] = None,
         no_worker_grace: float = 60.0,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        on_broker_loss: str = "fallback",
+        fallback_jobs: Optional[int] = None,
     ) -> None:
+        if on_broker_loss not in ("fallback", "fail"):
+            raise ReproError(
+                f"on_broker_loss must be 'fallback' or 'fail', got "
+                f"{on_broker_loss!r}"
+            )
         self.address = parse_address(address)
         self.authkey = authkey
         self.poll_interval = float(poll_interval)
         self.timeout = timeout
         self.no_worker_grace = float(no_worker_grace)
+        self.retry = retry
+        self.on_broker_loss = on_broker_loss
+        self.fallback_jobs = fallback_jobs
+        self.fallbacks = 0
         self._connection: Optional[BrokerConnection] = None
 
-    def _broker(self):
+    # -- transport ------------------------------------------------------
+
+    def _connect_raw(self):
+        """The cached proxy, reconnecting if the last RPC tore it down.
+
+        Raises raw transport errors (so the retry policy can classify
+        them); user-facing wrapping happens in :meth:`_broker`.
+        """
         if self._connection is None:
-            try:
-                self._connection = connect(
-                    self.address, authkey=self.authkey
-                )
-            except (AuthenticationError, OSError, EOFError) as exc:
-                host, port = self.address
-                raise ReproError(
-                    f"cannot connect to broker at {host}:{port} "
-                    f"({exc!r}); is 'repro dist serve' running there "
-                    f"with a matching --authkey?"
-                )
+            self._connection = connect(self.address, authkey=self.authkey)
         return self._connection.broker
+
+    def _broker(self):
+        try:
+            return self.retry.call(
+                self._connect_raw, describe="broker connect"
+            )
+        except (AuthenticationError, *_BROKER_GONE) as exc:
+            host, port = self.address
+            raise ReproError(
+                f"cannot connect to broker at {host}:{port} "
+                f"({exc!r}); is 'repro dist serve' running there "
+                f"with a matching --authkey?"
+            )
+
+    def _rpc(
+        self,
+        describe: str,
+        call: Callable[[Any], Any],
+        none_is_loss: bool = False,
+    ) -> Any:
+        """One broker RPC under the retry policy.
+
+        A transport failure drops the cached connection, so the next
+        attempt reconnects from scratch — the only way back to a
+        restarted broker, since a manager proxy never outlives its
+        TCP connection.  Exhausted retries raise
+        :class:`BrokerUnavailableError` for :meth:`map` to translate
+        into the ``on_broker_loss`` policy.
+
+        ``none_is_loss``: a manager server caught mid-shutdown answers
+        the in-flight call with a bare ``None`` before the connection
+        dies; for RPCs whose real return is never ``None`` that reply
+        is itself a loss signal.
+        """
+
+        def attempt():
+            try:
+                reply = call(self._connect_raw())
+            except _BROKER_GONE:
+                self._connection = None
+                raise
+            if none_is_loss and reply is None:
+                self._connection = None
+                raise ConnectionResetError(
+                    f"broker returned no reply to {describe} "
+                    f"(shutting down)"
+                )
+            return reply
+
+        try:
+            return self.retry.call(attempt, describe=describe)
+        except _BROKER_GONE as exc:
+            raise BrokerUnavailableError(
+                f"broker at {self.address[0]}:{self.address[1]} "
+                f"unreachable during {describe} after "
+                f"{self.retry.attempts} attempt(s): {exc!r}"
+            ) from exc
 
     def stats(self) -> dict:
         """Queue diagnostics of the connected broker."""
@@ -97,6 +201,8 @@ class DistExecutor:
     def cache_stats(self) -> dict:
         """Shared-cache-store diagnostics of the connected broker."""
         return self._broker().cache_stats()
+
+    # -- the map --------------------------------------------------------
 
     def map(
         self,
@@ -108,24 +214,59 @@ class DistExecutor:
 
         Equivalent to ``[fn(item) for item in items]`` for pure ``fn``
         (the :mod:`repro.exec.pool` determinism contract), for any
-        number of workers, steal order, or worker death mid-job.
+        number of workers, steal order, or worker death mid-job — and,
+        under ``on_broker_loss="fallback"``, for broker death too.
         ``on_result(index, result)`` fires in index order as the
         completed prefix grows.
         """
         payloads = [JobPayload(fn, item) for item in items]
         if not payloads:
             return []
+        results: List[Any] = []
+        try:
+            return self._map_fleet(fn, payloads, results, on_result)
+        except (BrokerUnavailableError, RemoteError) as exc:
+            # Broker loss: gone for good, or restarted and no longer
+            # knows the batch (a RemoteError also covers a TTL-dropped
+            # batch — same remedy).  ``results`` holds the contiguous
+            # completed prefix at the moment of loss.
+            if self.on_broker_loss != "fallback":
+                raise ReproError(
+                    f"broker lost with {len(results)}/{len(payloads)} "
+                    f"jobs done and on_broker_loss='fail': {exc}"
+                )
+            return self._map_fallback(fn, payloads, results, on_result, exc)
+
+    def _map_fleet(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: List[JobPayload],
+        results: List[Any],
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> List[Any]:
+        """The fleet poll loop; appends to ``results`` as it merges."""
         broker = self._broker()
         batch_id = uuid.uuid4().hex
-        broker.submit(batch_id, payloads)
+
+        def _submit(b):
+            faults.fire("executor.submit", batch_id=batch_id)
+            return b.submit(batch_id, payloads)
+
+        self._rpc("batch submit", _submit)
         deadline = (
             None if self.timeout is None else time.monotonic() + self.timeout
         )
-        results: List[Any] = []
         last_progress = time.monotonic()
         try:
             while len(results) < len(payloads):
-                ready = broker.fetch_ready(batch_id, len(results))
+
+                def _fetch(b):
+                    faults.fire("executor.fetch_ready", batch_id=batch_id)
+                    return b.fetch_ready(batch_id, len(results))
+
+                ready = self._rpc(
+                    "result fetch", _fetch, none_is_loss=True
+                )
                 for result in ready:
                     if isinstance(result, JobFailure):
                         raise ReproError(
@@ -143,8 +284,15 @@ class DistExecutor:
                 # slow fleet trickling one result per poll must not
                 # dodge it indefinitely.
                 if deadline is not None and now > deadline:
-                    done, total = broker.batch_status(batch_id)
-                    stats = broker.stats()
+                    done, total = self._rpc(
+                        "batch status",
+                        lambda b: b.batch_status(batch_id),
+                        none_is_loss=True,
+                    )
+                    stats = self._rpc(
+                        "broker stats", lambda b: b.stats(),
+                        none_is_loss=True,
+                    )
                     raise ReproError(
                         f"distributed batch timed out after "
                         f"{self.timeout:.1f}s with {done}/{total} jobs "
@@ -158,8 +306,15 @@ class DistExecutor:
                     # Stalled: fine while live workers grind a long
                     # job, an error once nobody is left to make
                     # progress — hanging forever helps no one.
-                    if broker.stats()["workers"] == 0:
-                        done, total = broker.batch_status(batch_id)
+                    if self._rpc(
+                        "broker stats", lambda b: b.stats(),
+                        none_is_loss=True,
+                    )["workers"] == 0:
+                        done, total = self._rpc(
+                            "batch status",
+                            lambda b: b.batch_status(batch_id),
+                            none_is_loss=True,
+                        )
                         raise ReproError(
                             f"no live workers for "
                             f"{self.no_worker_grace:.0f}s with "
@@ -169,17 +324,6 @@ class DistExecutor:
                         )
                     last_progress = now
                 time.sleep(self.poll_interval)
-        except RemoteError as exc:
-            # A broker-side rejection (e.g. the batch was TTL-dropped
-            # after this driver stalled for longer than the broker's
-            # batch_ttl) arrives as a pickled remote traceback; surface
-            # it as a clean, actionable error.
-            raise ReproError(
-                f"broker rejected batch {batch_id}: the batch was "
-                f"likely dropped (driver stalled past the broker's "
-                f"batch TTL, or the broker restarted) — rerun the "
-                f"map.\n{exc}"
-            )
         finally:
             # Best-effort: if the broker is gone (or already dropped
             # the batch), failing the cleanup RPC must not mask the
@@ -189,3 +333,35 @@ class DistExecutor:
             except Exception:
                 pass
         return results
+
+    def _map_fallback(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: List[JobPayload],
+        results: List[Any],
+        on_result: Optional[Callable[[int, Any], None]],
+        cause: BaseException,
+    ) -> List[Any]:
+        """Re-run the unfinished tail on the local pool, same order.
+
+        ``results`` is the contiguous completed prefix the fleet
+        delivered before the loss; jobs are pure, so computing the tail
+        locally and concatenating reproduces the fleet answer exactly.
+        ``on_result`` indices continue from the prefix.
+        """
+        from repro.exec.pool import parallel_map
+
+        self.fallbacks += 1
+        done = len(results)
+
+        def _shifted(index: int, result: Any) -> None:
+            if on_result is not None:
+                on_result(done + index, result)
+
+        tail = parallel_map(
+            fn,
+            [payload.item for payload in payloads[done:]],
+            jobs=self.fallback_jobs,
+            on_result=_shifted,
+        )
+        return results + tail

@@ -196,6 +196,7 @@ def run_matrix(
     jobs: int = 1,
     executor: Optional[Any] = None,
     on_result: Optional[Callable[[int, BlockOutcome], None]] = None,
+    journal: Optional[Any] = None,
 ) -> FleetOutcome:
     """Run one scenario×budget×replication matrix, merged by cell.
 
@@ -204,6 +205,14 @@ def run_matrix(
     the default is the serial reference loop.  All three merge to
     bitwise-identical outcomes.  ``on_result(index, block)`` streams
     completed blocks in submission order.
+
+    ``journal`` (a :class:`~repro.dist.journal.RunJournal`) makes the
+    run resumable: it is bound to this matrix configuration (resume
+    validates the config hash), already-journaled blocks are reused
+    without recomputing, and every newly completed block is recorded
+    atomically *as it streams in* — so a driver killed mid-run loses
+    at most the blocks in flight.  ``on_result`` still fires for every
+    block, journaled or fresh, in global submission order.
     """
     payloads = build_matrix(
         scenario_names,
@@ -215,6 +224,38 @@ def run_matrix(
         sim_backend=sim_backend,
         block_reps=block_reps,
     )
+    blocks: List[Optional[BlockOutcome]] = [None] * len(payloads)
+    todo_indices: List[int] = []
+    if journal is not None:
+        journal.bind(payloads)
+        for index, payload in enumerate(payloads):
+            hit, block = journal.lookup(payload)
+            if hit:
+                blocks[index] = block
+            else:
+                todo_indices.append(index)
+    else:
+        todo_indices = list(range(len(payloads)))
+
+    # Stream on_result in *global* submission order: journaled blocks
+    # and freshly computed ones interleave, so a block is emitted only
+    # once the contiguous prefix before it is complete.
+    emitted = 0
+
+    def _flush() -> None:
+        nonlocal emitted
+        while emitted < len(blocks) and blocks[emitted] is not None:
+            if on_result is not None:
+                on_result(emitted, blocks[emitted])
+            emitted += 1
+
+    def _on_block(todo_position: int, block: BlockOutcome) -> None:
+        index = todo_indices[todo_position]
+        blocks[index] = block
+        if journal is not None:
+            journal.record(payloads[index], block)
+        _flush()
+
     # Local paths get a run-scoped sizing memo (fleet workers install
     # their own CacheTier instead): each cell's sizing is solved once
     # per process, and the memo dies with the run — never accumulating
@@ -225,14 +266,15 @@ def run_matrix(
         dist_jobs.set_active_cache(ProcessMemo()) if memo_installed else None
     )
     try:
-        blocks = parallel_map(
+        parallel_map(
             run_block,
-            payloads,
+            [payloads[index] for index in todo_indices],
             jobs=jobs,
             executor=executor,
-            on_result=on_result,
+            on_result=_on_block,
         )
     finally:
         if memo_installed:
             dist_jobs.set_active_cache(previous)
+    _flush()
     return _merge_blocks(blocks)

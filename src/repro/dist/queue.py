@@ -41,14 +41,18 @@ clock, so multi-host fleets need no cross-host clock agreement.
 
 from __future__ import annotations
 
+import os
+import socket
+import struct
 import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from multiprocessing.managers import BaseManager
+from multiprocessing.managers import BaseManager, Server
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.faults import injector as faults
 
 #: Shared-secret default for the manager handshake.  Every process of a
 #: fleet must agree on it (``--authkey``); it authenticates peers, it is
@@ -97,9 +101,37 @@ class JobPayload:
     item: Any
 
 
+#: Cap on the text a :class:`JobFailure` ships (error repr and
+#: traceback each).  A crashing job with a huge locals dump must not
+#: bloat broker memory or driver logs; see :func:`truncate_failure_text`.
+MAX_FAILURE_TEXT = 16_000
+
+
+def truncate_failure_text(text: str, limit: int = MAX_FAILURE_TEXT) -> str:
+    """Bound failure text, keeping the head and the tail.
+
+    The head carries the exception type and entry frames, the tail the
+    innermost frames — the two ends a reader actually needs; the elided
+    middle is announced in place.
+    """
+    if limit <= 0 or len(text) <= limit:
+        return text
+    keep = max((limit - 60) // 2, 1)
+    omitted = len(text) - 2 * keep
+    return (
+        f"{text[:keep]}\n... [{omitted} characters truncated] ...\n"
+        f"{text[-keep:]}"
+    )
+
+
 @dataclass(frozen=True)
 class JobFailure:
-    """A job that raised, shipped back to the driver for re-raising."""
+    """A job that raised, shipped back to the driver for re-raising.
+
+    Both fields are bounded by the shipping worker
+    (:func:`truncate_failure_text`), so a pathological traceback can
+    never balloon the broker's result store.
+    """
 
     error: str
     traceback: str
@@ -216,9 +248,14 @@ class Broker:
         return job_id, self._payloads[job_id]
 
     def start(self, worker_id: str, job_id: JobId) -> bool:
-        """Whether ``worker_id`` still owns the lease and may execute."""
+        """Whether ``worker_id`` still owns the lease and may execute.
+
+        Refreshes liveness but never *registers*: a reaped worker
+        announcing a stale job must not resurrect as a phantom (see
+        :meth:`complete`).
+        """
         with self._lock:
-            self._beat(worker_id)
+            self._beat(worker_id, register=False)
             job_id = tuple(job_id)
             if self._leases.get(job_id) != worker_id:
                 return False  # stolen, reaped or already completed
@@ -226,9 +263,20 @@ class Broker:
             return True
 
     def complete(self, worker_id: str, job_id: JobId, result: Any) -> None:
-        """Store one job's result (idempotent across duplicate runs)."""
+        """Store one job's result (idempotent across duplicate runs).
+
+        A worker reaped mid-result-upload lands here *after* its jobs
+        were re-enqueued: the late completion must neither resurrect
+        the reaped worker (``register=False`` — a phantom in
+        ``_workers`` would inflate the live-worker count the driver's
+        no-progress guard reads, and be "reaped" again next cycle) nor
+        double-count — the first result for an index wins and
+        increments ``completed`` exactly once; every duplicate returns
+        before any counter.  The worker re-registers honestly on its
+        next ``pull``.
+        """
         with self._lock:
-            self._beat(worker_id)
+            self._beat(worker_id, register=False)
             batch_id, index = job_id
             job_id = (batch_id, index)
             results = self._results.get(batch_id)
@@ -299,8 +347,11 @@ class Broker:
 
     # -- internals (call with the lock held) ---------------------------
 
-    def _beat(self, worker_id: str) -> None:
-        self._workers[worker_id] = self._clock()
+    def _beat(self, worker_id: str, register: bool = True) -> None:
+        """Record liveness.  ``register=False`` only refreshes workers
+        already known — reaped workers stay reaped until they pull."""
+        if register or worker_id in self._workers:
+            self._workers[worker_id] = self._clock()
 
     def _drop_batch(self, batch_id: str) -> None:
         self._batch_totals.pop(batch_id, None)
@@ -389,6 +440,100 @@ class Broker:
 # Manager plumbing: export one Broker over TCP / connect to one.
 
 
+class _StoppableServer(Server):
+    """A manager server whose accepter thread can actually terminate.
+
+    The stdlib accepter loops ``continue`` on *any* accept error, so
+    closing the listener socket turns the (daemon) accepter into a busy
+    spin — which is why PR 5 left the listener open on ``stop()``.
+    This subclass makes a closed listener a clean exit signal instead:
+    once :attr:`stop_event` is set, an accept failure means "shut
+    down", so :meth:`BrokerServer.stop` can close the socket, free the
+    port, and end the thread.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Accepted client connections and their serve threads, so
+        # stop() can shut them down: a server-side socket whose serve
+        # thread is blocked in recv() otherwise outlives close() and
+        # keeps the port unbindable for a restarted broker.
+        self._client_connections: set = set()
+        self._client_threads: list = []
+        self._client_lock = threading.Lock()
+        self._accepter_thread: Optional[threading.Thread] = None
+
+    def accepter(self):
+        self._accepter_thread = threading.current_thread()
+        while True:
+            try:
+                connection = self.listener.accept()
+            except OSError:
+                stop_event = getattr(self, "stop_event", None)
+                if stop_event is not None and stop_event.is_set():
+                    return  # listener closed by stop(): clean shutdown
+                if getattr(self.listener, "_listener", None) is None:
+                    return  # listener closed outright: nothing to accept
+                continue
+            handler = threading.Thread(
+                target=self.handle_request, args=(connection,)
+            )
+            handler.daemon = True
+            with self._client_lock:
+                self._client_connections = {
+                    c for c in self._client_connections if not c.closed
+                }
+                self._client_connections.add(connection)
+                self._client_threads = [
+                    t for t in self._client_threads if t.is_alive()
+                ]
+                self._client_threads.append(handler)
+            handler.start()
+
+    def close_clients(self) -> None:
+        """Abort every live client connection and join its thread.
+
+        Plain ``close()`` is not enough twice over.  First, on Linux a
+        serve thread blocked in ``recv()`` holds a kernel reference to
+        the socket, so closing the fd neither wakes the thread nor
+        destroys the socket — ``shutdown(SHUT_RDWR)`` does wake it.
+        Second, the close must be *abortive* (``SO_LINGER`` zero, RST
+        instead of FIN): a graceful close parks the socket in
+        FIN_WAIT2 until the remote driver notices, and FIN_WAIT2 —
+        unlike TIME_WAIT — keeps the port unbindable, defeating
+        "stop, then restart on the same port".  The woken serve thread
+        closes its connection on exit (with the linger option already
+        set, producing the RST); joining it makes "port is free" true
+        by the time stop() returns, not merely eventually.  Clients
+        see ``ConnectionResetError``, the exact transient signal their
+        retry policies already handle.
+        """
+        with self._client_lock:
+            connections, self._client_connections = (
+                self._client_connections,
+                set(),
+            )
+            threads, self._client_threads = self._client_threads, []
+        for connection in connections:
+            try:
+                raw = socket.socket(fileno=os.dup(connection.fileno()))
+            except OSError:
+                continue  # already closed by its serve thread
+            try:
+                raw.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                raw.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            finally:
+                raw.close()
+        for thread in threads:
+            thread.join(timeout=1.0)
+
+
 class BrokerServer:
     """A :class:`Broker` listening on TCP.
 
@@ -418,14 +563,33 @@ class BrokerServer:
             pass
 
         _Manager.register("get_broker", callable=lambda: broker)
-        self._manager = _Manager(address=(host, port), authkey=authkey)
-        self._server = self._manager.get_server()
+        # BaseManager.get_server() hard-codes the stdlib Server class
+        # (its busy-spinning accepter is the reason stop() used to leak
+        # the listener), so build the stoppable server directly from
+        # the same registry.
+        self._server = _StoppableServer(
+            _Manager._registry, (host, port), authkey, "pickle"
+        )
         self.address: Tuple[str, int] = self._server.address
         self._thread: Optional[threading.Thread] = None
 
     def serve_forever(self) -> None:
         """Run the accept loop in this thread (blocks until stopped)."""
         self._server.serve_forever()
+
+    def listen_fileno(self) -> Optional[int]:
+        """The listener socket's fd, or ``None`` once closed.
+
+        Anyone forking children out of the broker's process must close
+        this fd in the child: an inherited copy keeps the port's kernel
+        backlog accepting connections after :meth:`stop`, turning a
+        cleanly stopped broker into a half-open zombie (see
+        ``_probe_listener``).
+        """
+        try:
+            return self._server.listener._listener._socket.fileno()
+        except (AttributeError, OSError):
+            return None
 
     def start_in_thread(self) -> "BrokerServer":
         """Run the accept loop on a daemon thread; returns ``self``."""
@@ -448,22 +612,94 @@ class BrokerServer:
         return self
 
     def stop(self) -> None:
-        """Stop the serve loop (the CLI's Ctrl-C path and the tests).
+        """Stop the serve loop and close the listener (port freed).
 
-        The listening socket is deliberately *not* closed: the stdlib
-        manager's accepter daemon thread loops ``continue`` on any
-        accept error, so closing the listener turns it into a busy
-        spin.  Left open, the thread blocks harmlessly in ``accept``
-        and everything dies with the process (the socket is ephemeral
-        state; a stopped in-process broker outliving its test leaks
-        one bound port for the process lifetime, nothing more).
+        Ordering matters: the stop event is set *first*, so when
+        closing the listener wakes the blocked accepter its accept
+        error reads as "shut down" (:class:`_StoppableServer`) instead
+        of the stdlib's busy-spinning ``continue``.  After ``stop()``
+        the port is immediately rebindable and no thread is left
+        spinning — asserted by the shutdown regression tests.
         """
         stop_event = getattr(self._server, "stop_event", None)
         if stop_event is not None:
             stop_event.set()
+        # shutdown() before close(): on Linux, close() does not wake a
+        # thread blocked in accept() — the in-flight syscall keeps the
+        # socket alive (and the port in LISTEN) until a connection
+        # arrives.  shutdown(SHUT_RDWR) wakes it immediately.
+        try:
+            listener_socket = self._server.listener._listener._socket
+        except AttributeError:
+            listener_socket = None
+        if listener_socket is not None:
+            try:
+                listener_socket.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        # A closed listener is itself an exit condition for the
+        # accepter (covers stop() before serve_forever ever ran).
+        try:
+            self._server.listener.close()
+        except OSError:
+            pass
+        # Server-side sockets of live clients must go too, or their
+        # blocked serve threads keep the port busy and a restarted
+        # broker cannot bind it.
+        self._server.close_clients()
+        accepter = getattr(self._server, "_accepter_thread", None)
+        if accepter is not None:
+            accepter.join(timeout=2.0)
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
+
+
+def _probe_listener(
+    address: Tuple[str, int],
+    timeout: float = 5.0,
+    challenge_timeout: float = 2.0,
+) -> None:
+    """Reject dead, zombie, or self-connected endpoints pre-handshake.
+
+    A dead broker must read as :class:`ConnectionRefusedError` —
+    transient, retryable, fast — never as a hang, but two TCP artifacts
+    can turn the manager handshake into exactly that:
+
+    * On Linux, ``connect()`` to a just-freed ephemeral port can land
+      on the connecting socket *itself* (source port == destination
+      port, a TCP self-connect) — detected by comparing the probe's
+      own address pair.
+    * A *zombie backlog*: when another process still holds an inherited
+      copy of a closed listener fd (forked workers of an in-process
+      broker), the kernel keeps accepting connections into the backlog
+      with nobody left to serve them.  A live manager server sends its
+      ``#CHALLENGE`` message the moment it accepts, so a peer that
+      stays silent for ``challenge_timeout`` is not a broker.
+
+    The probe connection is discarded either way; the manager makes
+    its own afterwards (safe from self-connect because a verified
+    listener holds the port in LISTEN state).
+    """
+    with socket.create_connection(address, timeout=timeout) as probe:
+        if probe.getsockname() == probe.getpeername():
+            raise ConnectionRefusedError(
+                f"no listener at {address[0]}:{address[1]} "
+                f"(self-connected socket)"
+            )
+        probe.settimeout(challenge_timeout)
+        try:
+            greeting = probe.recv(1)
+        except socket.timeout:
+            raise ConnectionRefusedError(
+                f"listener at {address[0]}:{address[1]} accepted but "
+                f"never sent a challenge (stale backlog, no server)"
+            ) from None
+        if not greeting:
+            raise ConnectionRefusedError(
+                f"listener at {address[0]}:{address[1]} closed the "
+                f"probe connection without a challenge"
+            )
 
 
 class BrokerConnection:
@@ -484,6 +720,8 @@ class BrokerConnection:
 
         _Manager.register("get_broker")
         self._manager = _Manager(address=self.address, authkey=authkey)
+        faults.fire("connect", address=self.address)
+        _probe_listener(self.address)
         self._manager.connect()
         self.broker = self._manager.get_broker()
 

@@ -5,12 +5,22 @@ foreground.  The loop leases up to ``prefetch`` jobs per pull (leased
 surplus is what idle peers steal), announces each execution with
 ``start`` (a ``False`` answer means the job was stolen — skip it), and
 ships results (or a :class:`~repro.dist.queue.JobFailure` wrapping the
-exception) back with ``complete``.
+exception, with its text bounded by
+:func:`~repro.dist.queue.truncate_failure_text`) back with ``complete``.
 
 Liveness is a side thread beating over its *own* broker connection
 (manager proxies are not thread-safe across threads), so a worker
 stays alive through arbitrarily long jobs; a worker that dies stops
 beating and the broker re-enqueues its leases after ``lease_timeout``.
+
+Self-healing: connects run under the unified
+:class:`~repro.retry.RetryPolicy`, a heartbeat thread that died (torn
+connection) is restarted on the next pull, and a torn *main*
+connection triggers a reconnect attempt before the worker gives up —
+so a broker restart stalls a worker instead of killing it.  Fault
+plans (:mod:`repro.faults`) inject at the ``worker.execute`` and
+``worker.heartbeat`` hooks; the plan arrives through the
+``REPRO_FAULT_PLAN`` environment variable for forked fleet workers.
 
 Each worker installs a :class:`~repro.dist.cachetier.CacheTier`
 (optional local disk + the broker's shared store) as the process-wide
@@ -30,6 +40,8 @@ from multiprocessing import AuthenticationError
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.faults import injector as faults
+from repro.retry import DEFAULT_RETRY, RetryPolicy
 
 from repro.dist import jobs as dist_jobs
 from repro.dist.cachetier import CacheTier
@@ -37,15 +49,17 @@ from repro.dist.queue import (
     DEFAULT_AUTHKEY,
     JobFailure,
     JobPayload,
+    MAX_FAILURE_TEXT,
     connect,
     parse_address,
+    truncate_failure_text,
 )
 from repro.exec.cache import ResultCache
 
 __all__ = ["default_worker_id", "worker_loop"]
 
 #: Connection errors meaning "the broker went away" — a worker treats
-#: them as a clean shutdown signal, not a crash.
+#: them as a reconnect signal first and a shutdown signal second.
 _BROKER_GONE = (ConnectionError, EOFError, BrokenPipeError, OSError)
 
 
@@ -56,16 +70,31 @@ def default_worker_id() -> str:
     )
 
 
-def _execute(payload: JobPayload):
-    """Run one job; exceptions become a shippable :class:`JobFailure`."""
+def _execute(payload: JobPayload, max_failure_text: int = MAX_FAILURE_TEXT):
+    """Run one job; exceptions become a shippable :class:`JobFailure`.
+
+    Failure text is truncated to ``max_failure_text`` characters per
+    field — a job that crashes with a huge repr or locals dump must not
+    bloat the broker's result store or the driver's logs.
+    """
     try:
         return payload.fn(payload.item)
     except Exception as exc:
-        return JobFailure(error=repr(exc), traceback=traceback.format_exc())
+        return JobFailure(
+            error=truncate_failure_text(repr(exc), max_failure_text),
+            traceback=truncate_failure_text(
+                traceback.format_exc(), max_failure_text
+            ),
+        )
 
 
 class _Heartbeat(threading.Thread):
-    """Beats over a dedicated broker connection until stopped."""
+    """Beats over a dedicated broker connection until stopped.
+
+    The ``worker.heartbeat`` fault hook fires before every beat: an
+    injected stall freezes this thread's beats exactly as a frozen
+    process would, so the broker's reaper path is exercised for real.
+    """
 
     def __init__(self, address, authkey, worker_id, interval):
         super().__init__(name=f"heartbeat-{worker_id}", daemon=True)
@@ -73,18 +102,21 @@ class _Heartbeat(threading.Thread):
         self._authkey = authkey
         self._worker_id = worker_id
         self._interval = interval
-        self._stop = threading.Event()
+        # Not named ``_stop``: Thread.is_alive() calls its own private
+        # ``_stop()`` method, which an Event attribute would shadow.
+        self._halt = threading.Event()
 
     def run(self) -> None:
         try:
             broker = connect(self._address, authkey=self._authkey).broker
-            while not self._stop.wait(self._interval):
+            while not self._halt.wait(self._interval):
+                faults.fire("worker.heartbeat", worker_id=self._worker_id)
                 broker.heartbeat(self._worker_id)
         except _BROKER_GONE:
             return
 
     def stop(self) -> None:
-        self._stop.set()
+        self._halt.set()
 
 
 def worker_loop(
@@ -96,6 +128,8 @@ def worker_loop(
     poll_interval: float = 0.1,
     max_idle: Optional[float] = None,
     worker_id: Optional[str] = None,
+    retry: RetryPolicy = DEFAULT_RETRY,
+    max_failure_text: int = MAX_FAILURE_TEXT,
 ) -> int:
     """Serve jobs from the broker at ``address`` until told to stop.
 
@@ -115,13 +149,25 @@ def worker_loop(
         Exit after this many consecutive seconds without work
         (``None`` = serve forever); the number of jobs executed is
         returned.
+    retry:
+        Backoff policy for broker connects and reconnects (a broker
+        restart is survivable; a permanently dead broker ends the
+        loop cleanly).
+    max_failure_text:
+        Per-field bound on shipped :class:`JobFailure` text.
     """
+    faults.install_from_env()
     address = parse_address(address)
     worker_id = worker_id or default_worker_id()
-    try:
+
+    def _connect():
         connection = connect(address, authkey=authkey)
-        broker = connection.broker
-        lease_timeout = broker.config()["lease_timeout"]
+        return connection, connection.broker.config()["lease_timeout"]
+
+    try:
+        (connection, lease_timeout) = retry.call(
+            _connect, describe="worker connect"
+        )
     except (AuthenticationError, *_BROKER_GONE) as exc:
         host, port = address
         raise ReproError(
@@ -129,10 +175,17 @@ def worker_loop(
             f"'repro dist serve' running there with a matching "
             f"--authkey?"
         )
-    heartbeat = _Heartbeat(
-        address, authkey, worker_id, interval=max(lease_timeout / 4, 0.02)
-    )
-    heartbeat.start()
+    broker = connection.broker
+    beat_interval = max(lease_timeout / 4, 0.02)
+
+    def _start_heartbeat() -> _Heartbeat:
+        heartbeat = _Heartbeat(
+            address, authkey, worker_id, interval=beat_interval
+        )
+        heartbeat.start()
+        return heartbeat
+
+    heartbeat = _start_heartbeat()
     local = (
         ResultCache(cache_dir, max_bytes=cache_max_bytes)
         if cache_dir
@@ -143,11 +196,36 @@ def worker_loop(
     )
     executed = 0
     idle_since: Optional[float] = None
+
+    def _reconnect() -> bool:
+        """Try to re-establish the main connection (broker restart)."""
+        nonlocal broker, connection
+        try:
+            (connection, _) = retry.call(
+                _connect, describe="worker reconnect"
+            )
+        except Exception:
+            return False
+        broker = connection.broker
+        # The tier must follow the new connection: proxies bound to
+        # the dead broker raise forever.
+        tier = dist_jobs.active_cache()
+        if isinstance(tier, CacheTier):
+            tier.remote = broker
+        return True
+
     try:
         while True:
+            # A heartbeat thread killed by a torn connection (flaky
+            # transport, broker restart) is restarted here, so a
+            # transient drop costs at most one reap, not the worker.
+            if not heartbeat.is_alive():
+                heartbeat = _start_heartbeat()
             try:
                 leased = broker.pull(worker_id, max_jobs=prefetch)
             except _BROKER_GONE:
+                if _reconnect():
+                    continue
                 break
             if not leased:
                 now = time.monotonic()
@@ -162,10 +240,17 @@ def worker_loop(
                 try:
                     if not broker.start(worker_id, job_id):
                         continue  # stolen while leased — the thief runs it
-                    result = _execute(payload)
+                    faults.fire(
+                        "worker.execute",
+                        worker_id=worker_id,
+                        job_id=job_id,
+                    )
+                    result = _execute(payload, max_failure_text)
                     broker.complete(worker_id, job_id, result)
                     executed += 1
                 except _BROKER_GONE:
+                    if _reconnect():
+                        continue  # the lease was reaped; move on
                     return executed
     finally:
         heartbeat.stop()

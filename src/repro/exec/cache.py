@@ -17,6 +17,16 @@ Values are stored as individual pickle files under two-level fan-out
 directories (``<root>/<kk>/<key>.pkl``), written atomically via a
 rename so a crashed writer never leaves a truncated entry behind.
 
+Entries are **sha256-checksummed**: the stored bytes are a magic tag,
+the digest of the pickled value, then the pickle itself
+(:func:`pack_entry`/:func:`unpack_entry`).  A read whose digest does
+not match is *quarantined* — renamed aside, counted, never
+deserialised — and reported as a miss, so a bit-flipped or truncated
+entry is recomputed instead of feeding garbage (or a pickle bomb) into
+an experiment.  The same framing wraps blobs crossing the distributed
+cache tier (:mod:`repro.dist.cachetier`), so corruption is caught at
+every store boundary.
+
 A cache built with ``max_bytes`` evicts least-recently-used entries
 after every store until the on-disk footprint fits the bound: hits
 touch an entry's mtime, so recency survives process restarts, and
@@ -37,12 +47,51 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import _version
-from repro.errors import ReproError
+from repro.errors import CacheCorruptionError, ReproError
+from repro.faults import injector as faults
 
 #: Bump to invalidate every existing cache entry (layout/semantic changes).
-CACHE_SCHEMA = 1
+#: 2: entries carry the sha256-checksummed :func:`pack_entry` framing.
+CACHE_SCHEMA = 2
+
+#: Leading tag of every checksummed entry/blob (version in the byte).
+ENTRY_MAGIC = b"RPC2"
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
 
 _MISSING = object()
+
+
+def pack_entry(value: Any) -> bytes:
+    """Serialise ``value`` with an integrity envelope.
+
+    ``magic + sha256(pickle) + pickle`` — the format every store tier
+    (disk entries, broker blobs, the fleet run journal) writes, so a
+    result round-trips bit-exactly *and* verifiably through any tier.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def unpack_entry(data: bytes) -> Any:
+    """Verify and deserialise one :func:`pack_entry` envelope.
+
+    Raises :class:`CacheCorruptionError` on a bad tag, a short read, or
+    a digest mismatch — *before* any unpickling, so damaged bytes are
+    never deserialised.  (A digest-valid pickle that still fails to
+    load — e.g. a class renamed between runs — raises its own error;
+    callers treat both as a miss.)
+    """
+    header = len(ENTRY_MAGIC) + _DIGEST_BYTES
+    if len(data) < header or data[: len(ENTRY_MAGIC)] != ENTRY_MAGIC:
+        raise CacheCorruptionError(
+            "cache entry is not a checksummed envelope"
+        )
+    digest = data[len(ENTRY_MAGIC) : header]
+    payload = data[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheCorruptionError("cache entry failed its sha256 check")
+    return pickle.loads(payload)
 
 
 def canonicalize(obj: Any) -> Any:
@@ -167,9 +216,11 @@ class ResultCache:
 
     Attributes
     ----------
-    hits / misses / evictions:
+    hits / misses / evictions / quarantined:
         Counters over this process's :meth:`fetch`/:meth:`put` calls,
         used by the tests and the benchmark to assert cache behaviour.
+        ``quarantined`` counts entries whose integrity check failed and
+        were set aside (read as misses, recomputed — self-healing).
     """
 
     def __init__(self, root, max_bytes: Optional[int] = None) -> None:
@@ -182,6 +233,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
         # Running footprint estimate for the bounded cache: seeded by
         # one directory scan on the first store, then bumped per put.
         # Re-putting an existing key over-counts, which only triggers
@@ -216,16 +268,26 @@ class ResultCache:
     def get(self, key: str) -> Tuple[bool, Any]:
         """``(hit, value)`` for one key; unreadable entries count as miss.
 
-        Unpickling garbage bytes can raise almost anything (decode,
-        attribute, index errors, ...), so *any* failure to load reads
-        as a miss and the value is recomputed — a damaged cache must
-        never abort an experiment.
+        Integrity is checked *before* deserialisation: a bit-flipped or
+        truncated entry fails its sha256 and is quarantined (renamed
+        aside, never unpickled), then reads as a miss so the value is
+        recomputed and the next :meth:`put` heals the entry.  A
+        digest-valid entry that still fails to unpickle (e.g. a class
+        moved between versions) is quarantined the same way — a damaged
+        cache must never abort an experiment.
         """
         path = self.path_for(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            data = path.read_bytes()
+        except OSError:
+            return False, None
+        # Chaos hook: a fault plan may damage the bytes here, exactly
+        # as silent disk corruption would (no-op in production).
+        data = faults.transform("cache.entry", data)
+        try:
+            value = unpack_entry(data)
         except Exception:
+            self._quarantine(path)
             return False, None
         if self.max_bytes is not None:
             # Touch the entry so LRU eviction sees the access; recency
@@ -268,7 +330,7 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(pack_entry(value))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -291,11 +353,34 @@ class ResultCache:
                 if self._approx_bytes > self.max_bytes:
                     self._evict_lru()
 
+    def _quarantine(self, path: Path) -> None:
+        """Set one damaged entry aside (``<key>.quarantined``).
+
+        Renamed, not unlinked, so the bytes stay available for
+        forensics; renamed out of the ``*.pkl`` namespace, so the entry
+        stops hitting, stops counting toward the footprint, and the
+        next :meth:`put` of the key writes a fresh entry (self-heal).
+        At most one quarantined file per key (``os.replace``
+        overwrites), and eviction pressure deletes them first.
+        """
+        try:
+            os.replace(path, path.with_suffix(".quarantined"))
+        except OSError:
+            # Already quarantined/evicted by a concurrent reader.
+            return
+        self.quarantined += 1
+
     def entry_paths(self) -> list:
         """All entry files currently on disk (any fan-out directory)."""
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*/*.pkl"))
+
+    def quarantined_paths(self) -> list:
+        """All quarantined (integrity-failed) files currently on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.quarantined"))
 
     def total_bytes(self) -> int:
         """Current on-disk footprint of all entries."""
@@ -327,6 +412,13 @@ class ResultCache:
         entry, and deleting one can never abort an experiment because
         reads already treat unreadable entries as misses.
         """
+        # Quarantined bytes are worthless under pressure: reclaim them
+        # before touching live entries.
+        for path in self.quarantined_paths():
+            try:
+                path.unlink()
+            except OSError:
+                continue
         entries = []
         total = 0
         for path in self.entry_paths():

@@ -1,0 +1,52 @@
+"""``repro.faults`` — deterministic fault injection and chaos harness.
+
+The standing correctness harness of the distributed runtime: a
+:class:`FaultPlan` scripts adversarial events (worker crash/stall/
+slowdown, connection refusals/drops, broker loss, cache-blob
+corruption/truncation) against the named hook sites threaded through
+:mod:`repro.dist` and :mod:`repro.exec.cache`, and the chaos harness
+(:mod:`repro.faults.chaos`) asserts the invariant that defines the
+whole runtime: **merges stay bitwise-identical to the fault-free
+serial run under every plan.**
+
+This package root stays import-light (plan + injector only; both
+depend on nothing beyond ``repro.errors``), so the execution and dist
+layers can call the hook functions without import cycles.  The chaos
+harness — which imports the dist stack — loads explicitly as
+``repro.faults.chaos``.
+
+See ``docs/robustness.md`` for the fault taxonomy and the recovery
+machinery each fault exercises.
+"""
+
+from repro.faults.injector import (
+    ENV_VAR,
+    FaultInjector,
+    active,
+    fire,
+    install,
+    install_from_env,
+    transform,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    SITES,
+    FaultEvent,
+    FaultPlan,
+    standard_plans,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "SITES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "active",
+    "fire",
+    "install",
+    "install_from_env",
+    "standard_plans",
+    "transform",
+]

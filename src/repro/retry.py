@@ -1,0 +1,111 @@
+"""Capped exponential backoff with seeded jitter — the one retry loop.
+
+Every transport edge of the distributed runtime — broker connects,
+cache-tier fetch/publish, job submission, the driver's poll loop —
+retries through a single :class:`RetryPolicy`, so backoff behaviour is
+uniform, testable, and deterministic: the jitter sequence is a pure
+function of the policy's seed, which is what lets the chaos suite
+(:mod:`repro.faults`) assert *bitwise-identical* outcomes under
+injected connection drops — the retry path may change timing, never a
+number.
+
+Only *transient* failures are retried (:func:`repro.errors.is_transient`
+is the default classifier): a wrong authkey, a corrupt cache entry, or
+a deterministic job exception fails immediately, because retrying a
+fatal error just delays the diagnosis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ReproError, is_transient
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base * 2**i``, jittered, capped.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries, including the first (``1`` disables retrying).
+    base_delay:
+        Sleep before the first retry (seconds).
+    max_delay:
+        Cap on any single sleep — the backoff is exponential up to
+        here, then flat.
+    jitter:
+        Fraction of each delay drawn uniformly from ``[0, jitter)``
+        and added, desynchronising a fleet of clients that all lost
+        the same broker at the same instant.
+    seed:
+        Seed of the jitter stream.  The delays of one :meth:`call` are
+        a pure function of ``(seed, attempt index)``, so retry timing
+        is reproducible in tests and chaos runs.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ReproError(
+                f"retry attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be >= 0")
+        if not 0 <= self.jitter:
+            raise ReproError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delays(self) -> List[float]:
+        """The seeded sleep schedule between attempts (length
+        ``attempts - 1``); element ``i`` precedes retry ``i + 1``."""
+        rng = Random(self.seed)
+        schedule = []
+        for index in range(self.attempts - 1):
+            delay = min(self.base_delay * (2.0 ** index), self.max_delay)
+            schedule.append(delay * (1.0 + self.jitter * rng.random()))
+        return schedule
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        classify: Callable[[BaseException], bool] = is_transient,
+        describe: str = "",
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Run ``fn()``, retrying transient failures per the schedule.
+
+        ``classify(exc)`` decides retryability (default: the library's
+        transient-vs-fatal taxonomy); fatal errors and the final
+        transient failure propagate unchanged.  ``on_retry(attempt,
+        exc)`` observes each retry (the fault log plugs in here);
+        ``sleep`` is injectable so tests never wait.
+        """
+        schedule = self.delays()
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except BaseException as exc:
+                if attempt >= len(schedule) or not classify(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt + 1, exc)
+                sleep(schedule[attempt])
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: The runtime's default policy: 4 tries over ~0.35-0.5 s — enough to
+#: ride out a broker restart or a dropped TCP connection, short enough
+#: that a genuinely dead broker fails fast.
+DEFAULT_RETRY = RetryPolicy()

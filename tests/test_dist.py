@@ -29,6 +29,7 @@ from repro.dist import (
 from repro.dist.jobs import echo, run_block
 from repro.errors import ReproError
 from repro.exec import ExecutionContext, ResultCache
+from repro.retry import RetryPolicy
 from repro.exec.pool import parallel_map
 from repro.sim.runner import replicate
 
@@ -38,6 +39,10 @@ LEASE_TIMEOUT = 2.0
 
 _FORK = multiprocessing.get_context("fork")
 
+#: Retry policy for tests that exercise failure paths: real backoff
+#: shape, near-zero waiting.
+_FAST_RETRY = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02)
+
 
 def _double(x):
     return 2 * x
@@ -45,6 +50,10 @@ def _double(x):
 
 def _boom(x):
     raise ValueError(f"kaboom on {x}")
+
+
+def _boom_with_huge_message(x):
+    raise ValueError("boom " + "y" * 100_000)
 
 
 def _stall_once_then_cache(item):
@@ -301,6 +310,76 @@ class TestCacheTier:
         hit, value = tier.lookup(key)
         assert not hit and value is None
         assert tier.misses == 1
+        assert tier.quarantined == 1
+
+    def test_bitflipped_shared_blob_quarantined_then_healed(self):
+        from repro.exec.cache import pack_entry
+
+        broker = Broker()
+        tier = CacheTier(remote=broker)
+        key = tier.key("kind", {"x": 4})
+        blob = bytearray(pack_entry({"answer": 41}))
+        blob[-1] ^= 0xFF  # valid framing, failing digest
+        broker.cache_put(key, bytes(blob))
+        hit, _ = tier.lookup(key)
+        assert not hit
+        assert tier.quarantined == 1
+        # fetch recomputes and republishes a clean entry: self-heal.
+        assert tier.fetch("kind", {"x": 4}, lambda: {"answer": 41}) == {
+            "answer": 41
+        }
+        fresh = CacheTier(remote=broker)
+        assert fresh.lookup(key) == (True, {"answer": 41})
+
+    def test_truncated_shared_blob_reads_as_miss(self):
+        from repro.exec.cache import pack_entry
+
+        broker = Broker()
+        tier = CacheTier(remote=broker)
+        key = tier.key("kind", {"x": 5})
+        whole = pack_entry([1, 2, 3])
+        broker.cache_put(key, whole[: len(whole) // 3])
+        hit, value = tier.lookup(key)
+        assert not hit and value is None
+        assert tier.quarantined == 1
+
+    def test_lost_remote_degrades_to_local_only(self, tmp_path):
+        class _DeadStore:
+            def cache_get(self, key):
+                raise ConnectionResetError("store gone")
+
+            def cache_put(self, key, blob):
+                raise ConnectionResetError("store gone")
+
+        tier = CacheTier(
+            remote=_DeadStore(),
+            local=ResultCache(tmp_path),
+            retry=_FAST_RETRY,
+        )
+        # A put against a dead store degrades (local write still
+        # lands) instead of raising into the job.
+        tier.put("k-degraded", 7)
+        assert tier.remote_down
+        assert tier.publishes == 0
+        hit, value = tier.lookup("k-degraded")
+        assert hit and value == 7
+        assert tier.local_hits == 1
+        # Degraded mode stops touching the remote entirely.
+        tier.put("k-more", 8)
+        assert tier.fetch("kind", {"x": 9}, lambda: 10) == 10
+
+    def test_degrade_disabled_reraises(self):
+        class _DeadStore:
+            def cache_get(self, key):
+                raise ConnectionResetError("store gone")
+
+        tier = CacheTier(
+            remote=_DeadStore(),
+            retry=_FAST_RETRY,
+            degrade_on_loss=False,
+        )
+        with pytest.raises(ConnectionResetError):
+            tier.lookup("k")
 
 
 class TestDistExecutor:
@@ -717,13 +796,33 @@ class TestDriverRobustness:
         assert "timed out" in str(excinfo.value)
         assert fake.dropped  # cleanup still ran
 
-    def test_dead_broker_propagates_original_error_not_cleanup(self):
-        executor = DistExecutor("127.0.0.1:1", timeout=5)
+    def test_dead_broker_with_fail_policy_is_a_clean_error(self):
+        executor = DistExecutor(
+            "127.0.0.1:1", timeout=5, retry=_FAST_RETRY,
+            on_broker_loss="fail",
+        )
         _plant_fake_broker(executor, _DyingBroker())
-        # The fetch error propagates; the failing drop_batch in the
-        # finally clause must not mask it with its own exception.
-        with pytest.raises(ConnectionResetError):
+        # The broker loss propagates as a clean error; the failing
+        # drop_batch in the finally clause must not mask it.
+        with pytest.raises(ReproError) as excinfo:
             executor.map(echo, [1])
+        assert "broker lost" in str(excinfo.value)
+
+    def test_dead_broker_falls_back_to_local_pool_by_default(self):
+        executor = DistExecutor(
+            "127.0.0.1:1", timeout=5, retry=_FAST_RETRY, fallback_jobs=1
+        )
+        _plant_fake_broker(executor, _DyingBroker())
+        seen = []
+        # Broker loss degrades to the local pool: same results, same
+        # merge order, on_result indices continue from the (empty)
+        # fleet-completed prefix.
+        assert executor.map(
+            _double, [1, 2, 3],
+            on_result=lambda i, r: seen.append((i, r)),
+        ) == [2, 4, 6]
+        assert executor.fallbacks == 1
+        assert seen == [(0, 2), (1, 4), (2, 6)]
 
     def test_worker_against_down_broker_is_a_clean_error(self):
         with pytest.raises(ReproError) as excinfo:
@@ -772,3 +871,161 @@ class TestLocalSizingMemo:
         assert first.results == second.results
         sweep = context.sweep(amba, [10, 10])
         assert sweep.points[0].result is sweep.points[1].result
+
+
+class TestBrokerShutdown:
+    """Regression tests for BrokerServer.stop() (PR 5 left the
+    listener open because the stdlib accepter busy-spins on accept
+    errors; the stoppable server must free the port and end the
+    thread)."""
+
+    def test_stop_frees_port_ends_thread_and_refuses(self):
+        server = BrokerServer(
+            port=0, lease_timeout=LEASE_TIMEOUT
+        ).start_in_thread()
+        host, port = server.address
+        # Sanity: the broker answers while up.
+        executor = DistExecutor(server.address, retry=_FAST_RETRY)
+        assert executor.stats()["workers"] == 0
+        server.stop()
+        assert server._thread is None  # accept thread joined, not leaked
+        # The port is immediately rebindable — the listener socket is
+        # really closed, not leaked to a spinning daemon thread.
+        rebound = BrokerServer(
+            host=host, port=port, lease_timeout=LEASE_TIMEOUT
+        )
+        assert rebound.address == (host, port)
+        rebound.stop()
+        # And a client sees a clean, fast refusal — never a hang.
+        dead = DistExecutor(server.address, retry=_FAST_RETRY)
+        with pytest.raises(ReproError, match="cannot connect"):
+            dead.stats()
+
+    def test_stop_is_idempotent(self):
+        server = BrokerServer(
+            port=0, lease_timeout=LEASE_TIMEOUT
+        ).start_in_thread()
+        server.stop()
+        server.stop()  # second stop must be a no-op, not an error
+
+    def test_stop_before_serve_frees_the_port(self):
+        server = BrokerServer(port=0, lease_timeout=LEASE_TIMEOUT)
+        host, port = server.address
+        server.stop()
+        rebound = BrokerServer(
+            host=host, port=port, lease_timeout=LEASE_TIMEOUT
+        )
+        rebound.stop()
+
+    def test_probe_rejects_listener_that_never_answers(self):
+        # A kernel backlog kept alive by a leaked listener fd accepts
+        # connections nobody will serve; the pre-handshake probe must
+        # turn that into a fast refusal instead of letting the manager
+        # handshake block forever.
+        import socket as socket_module
+
+        from repro.dist.queue import _probe_listener
+
+        silent = socket_module.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        try:
+            with pytest.raises(ConnectionRefusedError, match="challenge"):
+                _probe_listener(
+                    silent.getsockname(), challenge_timeout=0.1
+                )
+        finally:
+            silent.close()
+
+
+class TestReaperIdempotence:
+    """A worker reaped mid-result-upload must cost exactly one reap:
+    no double-counted steals/reaps/completions, no phantom worker."""
+
+    def _lease_one(self, broker):
+        broker.submit("b", [JobPayload(echo, 1)])
+        granted = broker.pull("stalled-worker", max_jobs=1)
+        assert len(granted) == 1
+        job_id = granted[0][0]
+        assert broker.start("stalled-worker", job_id)
+        return job_id
+
+    def test_late_completion_counts_once_and_never_resurrects(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=5.0, clock=clock)
+        job_id = self._lease_one(broker)
+        # The worker stalls: no beats past the lease timeout; the
+        # driver's poll reaps it and re-enqueues the job.
+        clock.advance(6.0)
+        assert broker.fetch_ready("b", 0) == []
+        stats = broker.stats()
+        assert stats["reaped_jobs"] == 1
+        assert stats["workers"] == 0
+        assert stats["pending"] == 1
+        # The stalled worker was killed mid-upload — its completion
+        # lands late.  It must store the result exactly once and must
+        # NOT re-register the reaped worker as live.
+        broker.complete("stalled-worker", job_id, "late-result")
+        stats = broker.stats()
+        assert stats["completed"] == 1
+        assert stats["workers"] == 0  # no phantom resurrection
+        # The re-enqueued copy is now moot: a second worker pulling it
+        # gets nothing (the payload is settled), and its own late
+        # "completion" of the same job is ignored.
+        assert broker.pull("healthy-worker", max_jobs=4) == []
+        broker.complete("healthy-worker", job_id, "duplicate-result")
+        stats = broker.stats()
+        assert stats["completed"] == 1  # not double-counted
+        assert stats["steals"] == 0
+        assert broker.fetch_ready("b", 0) == ["late-result"]
+        # Further reap cycles have nothing left to reap.
+        clock.advance(20.0)
+        broker.fetch_ready("b", 0)
+        assert broker.stats()["reaped_jobs"] == 1
+
+    def test_reaped_worker_reregisters_on_next_pull(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=5.0, clock=clock)
+        self._lease_one(broker)
+        clock.advance(6.0)
+        broker.fetch_ready("b", 0)
+        assert broker.stats()["workers"] == 0
+        # start() on a reaped lease refuses (the job was re-enqueued)
+        # and does not resurrect either.
+        granted = broker.pull("stalled-worker", max_jobs=1)
+        assert len(granted) == 1  # honest re-registration via pull
+        assert broker.stats()["workers"] == 1
+
+
+class TestFailureTextBounds:
+    def test_short_text_unchanged(self):
+        from repro.dist.queue import truncate_failure_text
+
+        assert truncate_failure_text("tiny", 100) == "tiny"
+
+    def test_long_text_bounded_keeps_head_and_tail(self):
+        from repro.dist.queue import truncate_failure_text
+
+        text = "HEAD" + "x" * 50_000 + "TAIL"
+        bounded = truncate_failure_text(text, 2_000)
+        assert len(bounded) <= 2_000
+        assert bounded.startswith("HEAD")
+        assert bounded.endswith("TAIL")
+        assert "characters truncated" in bounded
+
+    def test_job_failure_payload_is_bounded(self):
+        from repro.dist.queue import JobFailure
+        from repro.dist.worker import _execute
+
+        failure = _execute(
+            JobPayload(_boom_with_huge_message, 1), max_failure_text=500
+        )
+        assert isinstance(failure, JobFailure)
+        assert len(failure.error) <= 500
+        assert len(failure.traceback) <= 500
+        assert "ValueError" in failure.error
+
+    def test_default_bound_is_sane(self):
+        from repro.dist.queue import MAX_FAILURE_TEXT
+
+        assert 1_000 <= MAX_FAILURE_TEXT <= 1_000_000

@@ -318,6 +318,35 @@ class TestCacheEviction:
         assert f"{keys[0]}.pkl" in survivors
         assert f"{keys[1]}.pkl" not in survivors
 
+    def test_entry_corrupted_after_footprint_scan_self_heals(
+        self, tmp_path
+    ):
+        # Bit rot after the cache has already scanned its footprint:
+        # the read must quarantine (not unpickle damaged bytes), count
+        # a miss, and the next put of the key heals the entry while
+        # the footprint bookkeeping stays consistent.
+        cache = ResultCache(tmp_path, max_bytes=50_000)
+        key = cache.key("k", {"i": "rot"})
+        cache.put(key, {"v": 1})  # seeds the footprint estimate
+        assert cache._approx_bytes is not None
+        path = cache.path_for(key)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.quarantined == 1
+        assert [p.suffix for p in cache.quarantined_paths()] == [
+            ".quarantined"
+        ]
+        assert cache.entry_paths() == []  # out of the hit namespace
+        cache.put(key, {"v": 1})  # self-heal
+        assert cache.get(key) == (True, {"v": 1})
+        # Quarantined bytes are kept for forensics but never count
+        # toward the entry footprint.
+        assert cache.total_bytes() == path.stat().st_size
+
     def test_corrupt_entries_evict_like_any_other(self, tmp_path):
         import os
 

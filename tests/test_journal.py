@@ -1,0 +1,180 @@
+"""Tests for repro.dist.journal — checkpoint/resume of fleet runs.
+
+The contract under test: a driver killed at any instant leaves a valid
+journal (atomic block records); resuming completes the matrix without
+recomputing journaled blocks and yields the bitwise-identical outcome;
+a journal can never be silently overwritten, resumed against a
+different configuration, or trusted with damaged entries.
+"""
+
+import pytest
+
+from repro.dist import RunJournal, build_matrix, run_matrix
+from repro.dist.fleet import FleetOutcome
+from repro.errors import ReproError
+
+_MATRIX = dict(
+    scenario_names=["single-bus-4"],
+    budgets=[8, 12],
+    replications=2,
+    duration=20.0,
+)
+
+
+def _payloads():
+    return build_matrix(**_MATRIX)
+
+
+class _CountingRunBlock:
+    """Counts real block computations through the fleet's run_block."""
+
+    def __init__(self, monkeypatch):
+        from repro.dist.jobs import run_block
+
+        self.calls = 0
+        inner = run_block
+
+        def counted(payload):
+            self.calls += 1
+            return inner(payload)
+
+        monkeypatch.setattr("repro.dist.fleet.run_block", counted)
+
+
+class TestBind:
+    def test_fresh_run_writes_manifest(self, tmp_path):
+        journal = RunJournal(tmp_path / "j")
+        journal.bind(_payloads())
+        assert (tmp_path / "j" / "manifest.json").exists()
+        assert journal.completed() == 0
+
+    def test_existing_journal_without_resume_is_an_error(self, tmp_path):
+        RunJournal(tmp_path / "j").bind(_payloads())
+        with pytest.raises(ReproError, match="--resume"):
+            RunJournal(tmp_path / "j").bind(_payloads())
+
+    def test_resume_without_manifest_is_an_error(self, tmp_path):
+        (tmp_path / "j").mkdir()
+        with pytest.raises(ReproError, match="no manifest"):
+            RunJournal(tmp_path / "j", resume=True).bind(_payloads())
+
+    def test_resume_with_different_config_is_an_error(self, tmp_path):
+        RunJournal(tmp_path / "j").bind(_payloads())
+        changed = build_matrix(
+            **{**_MATRIX, "budgets": [8, 16]}
+        )
+        with pytest.raises(ReproError, match="different matrix"):
+            RunJournal(tmp_path / "j", resume=True).bind(changed)
+
+    def test_record_before_bind_is_an_error(self, tmp_path):
+        journal = RunJournal(tmp_path / "j")
+        with pytest.raises(ReproError, match="bind"):
+            journal.record(_payloads()[0], object())
+
+
+class TestRunAndResume:
+    def test_run_records_every_block(self, tmp_path):
+        journal = RunJournal(tmp_path / "j")
+        outcome = run_matrix(journal=journal, **_MATRIX)
+        assert isinstance(outcome, FleetOutcome)
+        assert journal.records == len(_payloads())
+        assert journal.completed() == len(_payloads())
+
+    def test_resume_recomputes_nothing(self, tmp_path, monkeypatch):
+        reference = run_matrix(
+            journal=RunJournal(tmp_path / "j"), **_MATRIX
+        ).to_jsonable()
+        counter = _CountingRunBlock(monkeypatch)
+        resumed = RunJournal(tmp_path / "j", resume=True)
+        outcome = run_matrix(journal=resumed, **_MATRIX)
+        assert counter.calls == 0
+        assert resumed.hits == len(_payloads())
+        assert resumed.records == 0
+        assert outcome.to_jsonable() == reference
+
+    def test_killed_mid_run_resumes_without_rework(
+        self, tmp_path, monkeypatch
+    ):
+        reference = run_matrix(**_MATRIX).to_jsonable()
+        total = len(_payloads())
+
+        class _Killed(Exception):
+            pass
+
+        def _die_after_two(index, block):
+            if index >= 1:
+                raise _Killed()
+
+        with pytest.raises(_Killed):
+            run_matrix(
+                journal=RunJournal(tmp_path / "j"),
+                on_result=_die_after_two,
+                **_MATRIX,
+            )
+        survived = RunJournal(tmp_path / "j", resume=True)
+        # The journal is valid mid-run: some blocks recorded, none torn.
+        done_before = survived.completed()
+        assert 0 < done_before < total
+
+        counter = _CountingRunBlock(monkeypatch)
+        outcome = run_matrix(journal=survived, **_MATRIX)
+        assert outcome.to_jsonable() == reference
+        # Only the unjournaled blocks were recomputed.
+        assert counter.calls == total - done_before
+        assert survived.hits == done_before
+        assert survived.records == total - done_before
+        assert survived.completed() == total
+
+    def test_on_result_streams_all_blocks_in_order_on_resume(
+        self, tmp_path
+    ):
+        run_matrix(journal=RunJournal(tmp_path / "j"), **_MATRIX)
+        seen = []
+        run_matrix(
+            journal=RunJournal(tmp_path / "j", resume=True),
+            on_result=lambda index, block: seen.append(index),
+            **_MATRIX,
+        )
+        assert seen == list(range(len(_payloads())))
+
+
+class TestDamage:
+    def test_corrupt_block_is_quarantined_and_recomputed(
+        self, tmp_path, monkeypatch
+    ):
+        reference = run_matrix(
+            journal=RunJournal(tmp_path / "j"), **_MATRIX
+        ).to_jsonable()
+        blocks = sorted((tmp_path / "j" / "blocks").glob("*.blk"))
+        damaged = blocks[0]
+        data = bytearray(damaged.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        damaged.write_bytes(bytes(data))
+
+        counter = _CountingRunBlock(monkeypatch)
+        resumed = RunJournal(tmp_path / "j", resume=True)
+        outcome = run_matrix(journal=resumed, **_MATRIX)
+        assert outcome.to_jsonable() == reference
+        assert resumed.quarantined == 1
+        assert counter.calls == 1  # only the damaged block
+        quarantined = list((tmp_path / "j" / "blocks").glob("*.quarantined"))
+        assert len(quarantined) == 1
+        # The recomputed block was re-recorded: the journal healed.
+        assert resumed.completed() == len(_payloads())
+
+    def test_truncated_block_reads_as_miss(self, tmp_path):
+        journal = RunJournal(tmp_path / "j")
+        run_matrix(journal=journal, **_MATRIX)
+        blocks = sorted((tmp_path / "j" / "blocks").glob("*.blk"))
+        blocks[0].write_bytes(blocks[0].read_bytes()[:7])
+        resumed = RunJournal(tmp_path / "j", resume=True)
+        resumed.bind(_payloads())
+        # Whichever payload maps to the damaged file, exactly one of
+        # the lookups misses; the rest still hit.
+        misses = sum(
+            1
+            for payload in _payloads()
+            if not resumed.lookup(payload)[0]
+        )
+        assert misses >= 1
+        assert resumed.quarantined >= 1

@@ -1,0 +1,165 @@
+"""Tests for repro.retry — the unified backoff policy.
+
+Covers the seeded, capped exponential schedule (deterministic per
+seed, so chaos runs are reproducible), the transient-vs-fatal
+classification the distributed runtime relies on, and the injectable
+sleep that keeps every one of these tests instant.
+"""
+
+import pytest
+
+from repro.errors import (
+    BrokerUnavailableError,
+    CacheCorruptionError,
+    ReproError,
+    TransientError,
+    is_transient,
+)
+from repro.retry import DEFAULT_RETRY, RetryPolicy
+
+
+class TestSchedule:
+    def test_deterministic_per_seed(self):
+        a = RetryPolicy(attempts=5, seed=7).delays()
+        b = RetryPolicy(attempts=5, seed=7).delays()
+        c = RetryPolicy(attempts=5, seed=8).delays()
+        assert a == b
+        assert a != c
+
+    def test_exponential_then_capped(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.1, max_delay=0.4, jitter=0.0
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_bounded_fraction(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay=1.0, max_delay=1.0, jitter=0.5
+        )
+        for delay in policy.delays():
+            assert 1.0 <= delay < 1.5
+
+    def test_single_attempt_never_sleeps(self):
+        assert RetryPolicy(attempts=1).delays() == []
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestCall:
+    def _policy(self):
+        return RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.02)
+
+    def test_success_needs_no_sleep(self):
+        slept = []
+        result = self._policy().call(
+            lambda: 42, sleep=slept.append
+        )
+        assert result == 42
+        assert slept == []
+
+    def test_transient_retried_until_success(self):
+        policy = self._policy()
+        slept, attempts = [], []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionResetError("blip")
+            return "ok"
+
+        assert policy.call(flaky, sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert slept == policy.delays()
+
+    def test_fatal_raises_immediately(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ReproError("configuration is wrong")
+
+        with pytest.raises(ReproError):
+            self._policy().call(bad, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_exhausted_transient_raises_last_error(self):
+        def always():
+            raise ConnectionRefusedError("down for good")
+
+        with pytest.raises(ConnectionRefusedError):
+            self._policy().call(always, sleep=lambda _: None)
+
+    def test_on_retry_observes_each_retry(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise TimeoutError("slow")
+            return True
+
+        assert self._policy().call(
+            flaky,
+            on_retry=lambda attempt, exc: seen.append(
+                (attempt, type(exc).__name__)
+            ),
+            sleep=lambda _: None,
+        )
+        assert seen == [(1, "TimeoutError"), (2, "TimeoutError")]
+
+    def test_custom_classifier_wins(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("retry me anyway")
+
+        with pytest.raises(ValueError):
+            self._policy().call(
+                bad,
+                classify=lambda exc: isinstance(exc, ValueError),
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 3  # retried despite being fatal by default
+
+    def test_default_policy_is_bounded(self):
+        assert DEFAULT_RETRY.attempts >= 2
+        assert sum(DEFAULT_RETRY.delays()) < 10.0
+
+
+class TestTransientTaxonomy:
+    def test_transport_errors_are_transient(self):
+        for exc in (
+            ConnectionResetError("r"),
+            ConnectionRefusedError("r"),
+            BrokenPipeError("p"),
+            EOFError(),
+            TimeoutError(),
+            OSError("io"),
+            TransientError("t"),
+            BrokerUnavailableError("b"),
+        ):
+            assert is_transient(exc), exc
+
+    def test_domain_and_auth_errors_are_fatal(self):
+        from multiprocessing import AuthenticationError
+
+        for exc in (
+            ReproError("bad config"),
+            CacheCorruptionError("bad bytes"),
+            AuthenticationError("wrong key"),
+            ValueError("logic bug"),
+            KeyError("logic bug"),
+        ):
+            assert not is_transient(exc), exc
+
+    def test_broker_unavailable_is_a_repro_error_too(self):
+        # Callers catching the library base class still see broker
+        # loss; callers classifying retries see it as transient.
+        assert issubclass(BrokerUnavailableError, ReproError)
+        assert issubclass(BrokerUnavailableError, TransientError)
