@@ -1,0 +1,58 @@
+"""Benchmark for the observability layer's hot-path cost.
+
+``bench_obs_overhead`` measures one instrumented operation — a span
+around a trivial body plus a counter increment, the exact shape every
+``repro.obs`` call site uses — in three modes: observability off (the
+production default; must cost one singleton method call), metrics only,
+and metrics + tracing.  ``extra_info.events_per_second`` puts all three
+in ``BENCH_quick.json`` so ``diff_bench.py`` trips if the disabled path
+ever stops being free or the enabled path gets dramatically slower.
+"""
+
+import pytest
+
+from repro import obs
+
+#: Instrumented operations per measured call.
+OPS_PER_CALL = 50_000
+
+MODES = ("off", "metrics", "metrics+trace")
+
+
+def _configure(mode: str) -> None:
+    obs.reset()
+    if mode in ("metrics", "metrics+trace"):
+        obs.enable_metrics()
+    if mode == "metrics+trace":
+        obs.enable_tracing()
+
+
+def _instrumented_loop() -> int:
+    # Call sites fetch metrics once and then inc on the hot path; the
+    # span helper is called per operation (that is its real cost).
+    counter = obs.counter("bench.ops")
+    total = 0
+    for i in range(OPS_PER_CALL):
+        with obs.span("bench.op"):
+            total += i
+        counter.inc()
+    return total
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_bench_obs_overhead(benchmark, mode):
+    """Instrumented ops per second with obs off / metrics / tracing."""
+    _configure(mode)
+    try:
+        expected = sum(range(OPS_PER_CALL))
+        result = benchmark(_instrumented_loop)
+        assert result == expected  # observation never changes the result
+        if benchmark.stats:  # absent under --benchmark-disable
+            benchmark.group = "obs_overhead"
+            benchmark.extra_info["mode"] = mode
+            benchmark.extra_info["ops"] = OPS_PER_CALL
+            benchmark.extra_info["events_per_second"] = round(
+                OPS_PER_CALL / benchmark.stats["mean"]
+            )
+    finally:
+        obs.reset()

@@ -4,8 +4,10 @@ Runs the simulator/sizing throughput benchmarks (both simulation
 backends, grouped per function so the heap-vs-batched ratio reads off
 the table directly), the compiled-kernel micro-benches, the
 execution-runtime benches (serial vs pooled replications, cold vs warm
-sweeps), and the distributed-queue overhead bench
-(``bench_dist_overhead``) with ``--benchmark-min-rounds=3`` — a couple
+sweeps), the distributed-queue overhead bench
+(``bench_dist_overhead``), and the observability hot-path bench
+(``bench_obs_overhead``: obs off vs metrics vs tracing) with
+``--benchmark-min-rounds=3`` — a couple
 of minutes, meant
 to run on every PR so perf regressions in the hot paths are visible
 immediately.  ``make bench-quick`` wraps this module; CI passes
@@ -28,6 +30,7 @@ def main() -> int:
         str(bench_dir / "bench_compiled_kernels.py"),
         str(bench_dir / "bench_exec_runtime.py"),
         str(bench_dir / "bench_dist.py"),
+        str(bench_dir / "bench_obs_overhead.py"),
         "--benchmark-min-rounds=3",
         # Group by (explicit group, function): the scenario-parametrized
         # simulator benches set one group per scenario, so heap vs

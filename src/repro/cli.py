@@ -33,11 +33,14 @@ event loop — see ``docs/execution.md``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro import scenarios
+from repro import obs, scenarios
+from repro.obs import log
 from repro.arch.dsl import parse_topology
 from repro.arch.validate import cluster_loads
 from repro.core.sizing import BufferSizer
@@ -91,10 +94,10 @@ def _resolve_architecture(args: argparse.Namespace):
 
 
 def _progress_printer():
-    """A ``progress(kind, key)`` observer printing one stderr line each."""
+    """A ``progress(kind, key)`` observer logging one stderr line each."""
 
     def emit(kind, key):
-        print(f"progress: {kind} {key} done", file=sys.stderr, flush=True)
+        log.info(f"progress: {kind} {key} done")
 
     return emit
 
@@ -185,6 +188,66 @@ def _add_runtime_flags(
             help="solve every sweep budget cold instead of chaining "
             "bridge-rate/LP warm starts (results are identical)",
         )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability flags to one subcommand.
+
+    Attached per-subcommand (not on the root parser) so they read
+    naturally where users type them: ``repro dist run --trace out.json``.
+    """
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        dest="verbose",
+        help="more stderr detail (per-item progress, worker chatter)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        dest="quiet",
+        help="suppress stderr progress/summary lines (warnings only); "
+        "stdout artifacts (reports, JSON) are unaffected",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the in-process metrics registry (counters shipped "
+        "to the broker on fleet runs; see 'repro obs dump')",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans and write a Chrome trace_event JSON here on "
+        "exit (open in chrome://tracing or Perfetto); implies --metrics",
+    )
+
+
+def _apply_obs_args(args: argparse.Namespace) -> Optional[str]:
+    """Configure logging/metrics/tracing from parsed flags.
+
+    Returns the trace output path (export happens in :func:`main`'s
+    ``finally`` so a failing command still leaves its trace behind).
+    Also mirrors the choices into the environment so worker processes
+    this command spawns (chaos fleets, pool children on spawn-start
+    platforms) inherit them, the same channel fault plans use.
+    """
+    if getattr(args, "quiet", False):
+        log.set_level(log.QUIET)
+    elif getattr(args, "verbose", 0):
+        log.set_level(log.DETAIL)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.enable_tracing()
+        os.environ[obs.ENV_TRACE] = "1"
+    if trace_path or getattr(args, "metrics", False):
+        obs.enable_metrics()
+        os.environ[obs.ENV_METRICS] = "1"
+    return trace_path
 
 
 def _add_scenario_flag(parser: argparse.ArgumentParser, default=None) -> None:
@@ -328,7 +391,7 @@ def _cmd_dist_serve(args: argparse.Namespace) -> int:
         cache_max_bytes=int(args.cache_max_mb * 1024 * 1024),
     )
     host, port = server.address
-    print(f"repro dist broker listening on {host}:{port}", flush=True)
+    log.info(f"repro dist broker listening on {host}:{port}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -358,7 +421,7 @@ def _cmd_dist_worker(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
     )
-    print(f"worker exiting after {executed} job(s)", flush=True)
+    log.info(f"worker exiting after {executed} job(s)")
     return 0
 
 
@@ -397,12 +460,10 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         )
 
     def stream(index, block):
-        print(
+        log.info(
             f"progress: block {index} done "
             f"({block.scenario} budget {block.budget} "
-            f"reps {block.start}..{block.stop - 1})",
-            file=sys.stderr,
-            flush=True,
+            f"reps {block.start}..{block.stop - 1})"
         )
 
     matrix_kwargs = dict(
@@ -428,7 +489,7 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         **matrix_kwargs,
     )
     if journal is not None:
-        print(
+        log.info(
             f"# journal: {journal.hits} block(s) resumed, "
             f"{journal.records} recorded"
             + (
@@ -447,12 +508,12 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
                 "distributed matrix result differs from the serial "
                 "reference — determinism contract violated"
             )
-        print("verify-local: merged results bitwise-identical to serial")
+        log.info("verify-local: merged results bitwise-identical to serial")
     print(outcome.render())
     if executor is not None:
         stats = executor.stats()
         cache_stats = executor.cache_stats()
-        print(
+        log.info(
             f"# fleet: "
             f"{stats['completed'] - stats_before['completed']} job(s) "
             f"completed, {stats['steals'] - stats_before['steals']} "
@@ -465,7 +526,7 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         )
     if args.json:
         outcome.write_json(args.json)
-        print(f"# wrote {args.json}")
+        log.info(f"# wrote {args.json}")
     return 0
 
 
@@ -513,8 +574,87 @@ def _cmd_dist_chaos(args: argparse.Namespace) -> int:
                 indent=2,
             )
             fh.write("\n")
-        print(f"# wrote {args.json}")
+        log.info(f"# wrote {args.json}")
     return 0 if report.all_match else 1
+
+
+def _wait_for_quit(interval: float) -> bool:
+    """Sleep ``interval`` seconds; ``True`` if the user pressed ``q``.
+
+    On a real TTY the terminal goes into cbreak mode for the wait so a
+    single unbuffered keypress is enough; redirected stdin just sleeps
+    (the console is then driven by SIGINT or ``--once``).
+    """
+    if not sys.stdin.isatty():
+        time.sleep(interval)
+        return False
+    import select
+    import termios
+    import tty
+
+    fd = sys.stdin.fileno()
+    saved = termios.tcgetattr(fd)
+    try:
+        tty.setcbreak(fd)
+        ready, _, _ = select.select([sys.stdin], [], [], interval)
+        if ready:
+            return sys.stdin.read(1) in ("q", "Q")
+    finally:
+        termios.tcsetattr(fd, termios.TCSADRAIN, saved)
+    return False
+
+
+def _cmd_dist_top(args: argparse.Namespace) -> int:
+    """Live fleet console: queue, workers, caches, refreshing in place."""
+    from repro.dist import DistExecutor
+    from repro.obs.console import CLEAR_SCREEN, render_top
+
+    executor = DistExecutor(
+        args.address, authkey=args.authkey.encode("utf-8")
+    )
+    if args.once:
+        sys.stdout.write(
+            render_top(executor.obs_snapshot(), None, args.interval)
+        )
+        sys.stdout.flush()
+        return 0
+    previous = None
+    try:
+        while True:
+            snapshot = executor.obs_snapshot()
+            frame = render_top(
+                snapshot, previous, args.interval if previous else None
+            )
+            sys.stdout.write(CLEAR_SCREEN + frame)
+            sys.stdout.flush()
+            previous = snapshot
+            if _wait_for_quit(args.interval):
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    """One JSON telemetry snapshot on stdout (scripting-friendly).
+
+    With ``--dist`` the snapshot is the broker's consistent fleet view
+    (same data ``dist top`` renders); without it, this process's local
+    registry — useful at the end of an instrumented in-process run.
+    """
+    import json as json_module
+
+    if args.dist:
+        from repro.dist import DistExecutor
+
+        snapshot = DistExecutor(
+            args.dist, authkey=args.authkey.encode("utf-8")
+        ).obs_snapshot()
+    else:
+        snapshot = obs.snapshot()
+    json_module.dump(snapshot, sys.stdout, sort_keys=True, indent=2)
+    sys.stdout.write("\n")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -557,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="total buffer budget (defaults to the scenario's declared "
         "budget; required with an architecture file)",
     )
+    _add_obs_flags(p_size)
     p_size.set_defaults(func=_cmd_size)
 
     p_sim = sub.add_parser(
@@ -586,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
         "SeedSequence children; legacy = base_seed + 1000*r)",
     )
     _add_runtime_flags(p_sim)
+    _add_obs_flags(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_fig3 = sub.add_parser(
@@ -605,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fig3.add_argument("--reps", type=int, default=5)
     _add_runtime_flags(p_fig3)
+    _add_obs_flags(p_fig3)
     p_fig3.set_defaults(func=_cmd_figure3)
 
     p_dist = sub.add_parser(
@@ -634,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-mb", type=float, default=256.0,
         help="bound of the broker's in-memory shared cache store (MiB)",
     )
+    _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_dist_serve)
 
     p_worker = dist_sub.add_parser(
@@ -660,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this many seconds without work (default: "
         "serve forever)",
     )
+    _add_obs_flags(p_worker)
     p_worker.set_defaults(func=_cmd_dist_worker)
 
     p_run = dist_sub.add_parser(
@@ -736,7 +881,27 @@ def build_parser() -> argparse.ArgumentParser:
         "unfinished blocks on the local pool (same results), 'fail' "
         "raises (default: fallback)",
     )
+    _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_dist_run)
+
+    p_top = dist_sub.add_parser(
+        "top",
+        help="live fleet console: queue depth, per-worker throughput, "
+        "steal/reap/retry/fault counters, cache hit rates (press q to "
+        "quit)",
+    )
+    p_top.add_argument("address", help="broker address (host:port)")
+    p_top.add_argument("--authkey", default="repro-dist")
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (rates are computed over this "
+        "window)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (scripting, CI)",
+    )
+    p_top.set_defaults(func=_cmd_dist_top)
 
     p_chaos = dist_sub.add_parser(
         "chaos",
@@ -786,7 +951,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="write the case table as JSON",
     )
+    _add_obs_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_dist_chaos)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: telemetry snapshots"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_dump = obs_sub.add_parser(
+        "dump",
+        help="print one JSON telemetry snapshot (broker fleet view "
+        "with --dist, else this process's registry)",
+    )
+    p_dump.add_argument(
+        "--dist", default=None, metavar="HOST:PORT",
+        help="broker whose fleet-wide snapshot to dump",
+    )
+    p_dump.add_argument("--authkey", default="repro-dist")
+    _add_obs_flags(p_dump)
+    p_dump.set_defaults(func=_cmd_obs_dump)
 
     p_tab1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     _add_scenario_flag(p_tab1)
@@ -798,6 +981,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tab1.add_argument("--reps", type=int, default=3)
     _add_runtime_flags(p_tab1, warm_start=True)
+    _add_obs_flags(p_tab1)
     p_tab1.set_defaults(func=_cmd_table1)
 
     return parser
@@ -807,6 +991,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = _apply_obs_args(args)
     try:
         return args.func(args)
     except ReproError as exc:
@@ -815,6 +1000,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Export even when the command failed: the trace of a broken
+        # run is the one worth reading.
+        if trace_path and obs.tracing_enabled():
+            try:
+                count = obs.export_trace(trace_path)
+            except OSError as exc:
+                log.warn(f"could not write trace to {trace_path}: {exc}")
+            else:
+                log.info(f"# trace: wrote {count} span(s) to {trace_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

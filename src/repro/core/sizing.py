@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.arch.topology import Topology
 from repro.core.bus_model import (
     BUS_TIME,
@@ -744,28 +745,40 @@ class BufferSizer:
         marginals: Dict[str, np.ndarray] = {}
         iterations = 0
         converged = False
-        for iterations in range(1, self.max_fixed_point_iterations + 1):
-            x, achieved, bound_used, lp_iterations = program.solve_adaptive(
-                initial_bound
-            )
-            marginals = {
-                name: self._extend_marginal(marg, self.total_budget)
-                for name, marg in program.marginals(x).items()
-            }
-            _blocking, damped, max_delta = self._fixed_point_step(
-                split_system, marginals, fair_share
-            )
-            if max_delta < self.fixed_point_tol:
-                converged = True
-                break
-            split_system.subsystems = [
-                sub.with_rates(damped) for sub in split_system.subsystems
-            ]
-            # Refresh only when another solve will happen: lp_solution
-            # below prices x with the providers' current cost vectors,
-            # which must stay the ones x was solved against.
-            if iterations < self.max_fixed_point_iterations:
-                program.refresh(split_system)
+        with obs.span("solver.fixed_point") as fp_span:
+            fp_span.set("path", "compiled")
+            for iterations in range(1, self.max_fixed_point_iterations + 1):
+                with obs.span("solver.lp_solve") as lp_span:
+                    lp_span.set("iteration", iterations)
+                    (
+                        x,
+                        achieved,
+                        bound_used,
+                        lp_iterations,
+                    ) = program.solve_adaptive(initial_bound)
+                obs.counter("solver.lp_solves").inc()
+                marginals = {
+                    name: self._extend_marginal(marg, self.total_budget)
+                    for name, marg in program.marginals(x).items()
+                }
+                _blocking, damped, max_delta = self._fixed_point_step(
+                    split_system, marginals, fair_share
+                )
+                if max_delta < self.fixed_point_tol:
+                    converged = True
+                    break
+                split_system.subsystems = [
+                    sub.with_rates(damped) for sub in split_system.subsystems
+                ]
+                # Refresh only when another solve will happen:
+                # lp_solution below prices x with the providers' current
+                # cost vectors, which must stay the ones x was solved
+                # against.
+                if iterations < self.max_fixed_point_iterations:
+                    program.refresh(split_system)
+            fp_span.set("iterations", iterations)
+            fp_span.set("converged", converged)
+        obs.histogram("solver.fixed_point_iterations").observe(iterations)
         assert x is not None  # loop runs at least once
         solution = program.lp_solution(x, achieved, lp_iterations)
         state = WarmStartState(
@@ -795,25 +808,33 @@ class BufferSizer:
         marginals: Dict[str, np.ndarray] = {}
         iterations = 0
         converged = False
-        for iterations in range(1, self.max_fixed_point_iterations + 1):
-            solution, bound_used, bookkeeping = (
-                self._solve_with_adaptive_bound(split_system, cap)
-            )
-            marginals = {
-                name: self._extend_marginal(marg, self.total_budget)
-                for name, marg in self._extract_marginals(
-                    solution, bookkeeping
-                ).items()
-            }
-            _blocking, damped, max_delta = self._fixed_point_step(
-                split_system, marginals, fair_share
-            )
-            if max_delta < self.fixed_point_tol:
-                converged = True
-                break
-            split_system.subsystems = [
-                sub.with_rates(damped) for sub in split_system.subsystems
-            ]
+        with obs.span("solver.fixed_point") as fp_span:
+            fp_span.set("path", "reference")
+            for iterations in range(1, self.max_fixed_point_iterations + 1):
+                with obs.span("solver.lp_solve") as lp_span:
+                    lp_span.set("iteration", iterations)
+                    solution, bound_used, bookkeeping = (
+                        self._solve_with_adaptive_bound(split_system, cap)
+                    )
+                obs.counter("solver.lp_solves").inc()
+                marginals = {
+                    name: self._extend_marginal(marg, self.total_budget)
+                    for name, marg in self._extract_marginals(
+                        solution, bookkeeping
+                    ).items()
+                }
+                _blocking, damped, max_delta = self._fixed_point_step(
+                    split_system, marginals, fair_share
+                )
+                if max_delta < self.fixed_point_tol:
+                    converged = True
+                    break
+                split_system.subsystems = [
+                    sub.with_rates(damped) for sub in split_system.subsystems
+                ]
+            fp_span.set("iterations", iterations)
+            fp_span.set("converged", converged)
+        obs.histogram("solver.fixed_point_iterations").observe(iterations)
         assert solution is not None  # loop runs at least once
         state = WarmStartState(
             bridge_rates=self._bridge_rates_of(split_system)

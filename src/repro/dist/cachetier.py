@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.errors import is_transient
 from repro.faults import injector as faults
 from repro.retry import DEFAULT_RETRY, RetryPolicy
@@ -104,6 +105,17 @@ class CacheTier:
         self.publishes = 0
         self.quarantined = 0
         self.remote_down = False
+        # The instance counters above are the tier's API (contexts and
+        # tests read them); these mirror every increment into the
+        # process registry so the fleet view aggregates them.  No-op
+        # stubs when metrics are off.
+        self._c_hits = obs.counter("cachetier.hits")
+        self._c_misses = obs.counter("cachetier.misses")
+        self._c_local_hits = obs.counter("cachetier.local_hits")
+        self._c_shared_hits = obs.counter("cachetier.shared_hits")
+        self._c_publishes = obs.counter("cachetier.publishes")
+        self._c_quarantined = obs.counter("cachetier.quarantined")
+        self._c_remote_down = obs.counter("cachetier.remote_down")
 
     # -- remote plumbing -----------------------------------------------
 
@@ -120,6 +132,7 @@ class CacheTier:
         except Exception as exc:
             if self.degrade_on_loss and is_transient(exc):
                 self.remote_down = True
+                self._c_remote_down.inc()
                 return None
             raise
 
@@ -132,12 +145,20 @@ class CacheTier:
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
         """``(hit, value)`` — local first, then the shared store."""
+        with obs.span("cachetier.lookup") as span:
+            hit, value, tier = self._lookup(key)
+            span.set("tier", tier)
+            return hit, value
+
+    def _lookup(self, key: str) -> Tuple[bool, Any, str]:
         if self.local is not None:
             hit, value = self.local.get(key)
             if hit:
                 self.hits += 1
                 self.local_hits += 1
-                return True, value
+                self._c_hits.inc()
+                self._c_local_hits.inc()
+                return True, value, "local"
         blob = None
         if not self.remote_down:
             def _get():
@@ -154,14 +175,19 @@ class CacheTier:
                 # value: verification failed, count it and miss.
                 self.quarantined += 1
                 self.misses += 1
-                return False, None
+                self._c_quarantined.inc()
+                self._c_misses.inc()
+                return False, None, "quarantined"
             self.hits += 1
             self.shared_hits += 1
+            self._c_hits.inc()
+            self._c_shared_hits.inc()
             if self.local is not None:
                 self.local.put(key, value)
-            return True, value
+            return True, value, "shared"
         self.misses += 1
-        return False, None
+        self._c_misses.inc()
+        return False, None, "miss"
 
     def put(self, key: str, value: Any) -> None:
         """Write-through: the local store and the shared store."""
@@ -178,6 +204,7 @@ class CacheTier:
 
         if self._remote_call(f"shared cache put {key[:12]}", _put):
             self.publishes += 1
+            self._c_publishes.inc()
 
     def fetch(
         self,

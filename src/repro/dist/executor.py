@@ -42,6 +42,7 @@ from multiprocessing import AuthenticationError
 from multiprocessing.managers import RemoteError
 from typing import Any, Callable, Iterable, List, Optional
 
+from repro import obs
 from repro.dist.queue import (
     DEFAULT_AUTHKEY,
     BrokerConnection,
@@ -202,6 +203,15 @@ class DistExecutor:
         """Shared-cache-store diagnostics of the connected broker."""
         return self._broker().cache_stats()
 
+    def obs_snapshot(self) -> dict:
+        """The broker's consistent fleet telemetry view (one RPC).
+
+        Queue + cache stats, per-worker shipped metrics, and fleet
+        counter totals, all read under one broker lock hold — what
+        ``repro dist top`` and ``repro obs dump --dist`` render.
+        """
+        return self._broker().obs_snapshot()
+
     # -- the map --------------------------------------------------------
 
     def map(
@@ -224,7 +234,9 @@ class DistExecutor:
             return []
         results: List[Any] = []
         try:
-            return self._map_fleet(fn, payloads, results, on_result)
+            with obs.span("executor.map") as span:
+                span.set("jobs", len(payloads))
+                return self._map_fleet(fn, payloads, results, on_result)
         except (BrokerUnavailableError, RemoteError) as exc:
             # Broker loss: gone for good, or restarted and no longer
             # knows the batch (a RemoteError also covers a TTL-dropped
@@ -352,6 +364,7 @@ class DistExecutor:
         from repro.exec.pool import parallel_map
 
         self.fallbacks += 1
+        obs.counter("executor.fallbacks").inc()
         done = len(results)
 
         def _shifted(index: int, result: Any) -> None:

@@ -53,6 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.faults import injector as faults
+from repro.obs.metrics import MetricsRegistry
 
 #: Shared-secret default for the manager handshake.  Every process of a
 #: fleet must agree on it (``--authkey``); it authenticates peers, it is
@@ -182,15 +183,27 @@ class Broker:
         self._cache: "OrderedDict[str, bytes]" = OrderedDict()
         self._cache_bytes = 0
         self.cache_max_bytes = cache_max_bytes
-        # Counters (diagnostics; surfaced by stats()/cache_stats()).
-        self.steals = 0
-        self.reaped_jobs = 0
-        self.completed = 0
-        self.dropped_batches = 0
-        self._cache_gets = 0
-        self._cache_hits = 0
-        self._cache_puts = 0
-        self._cache_evictions = 0
+        # Counters live in a broker-local, always-enabled registry —
+        # the single source stats(), cache_stats() and obs_snapshot()
+        # all read, so the three views can never disagree about what a
+        # counter means.  Metric objects are fetched once here; the hot
+        # paths below just .inc() them (all mutation happens under
+        # self._lock, which is what makes each snapshot consistent).
+        self.metrics = MetricsRegistry(enabled=True)
+        self._c_steals = self.metrics.counter("broker.steals")
+        self._c_reaped = self.metrics.counter("broker.reaped_jobs")
+        self._c_completed = self.metrics.counter("broker.completed")
+        self._c_dropped = self.metrics.counter("broker.dropped_batches")
+        self._c_cache_gets = self.metrics.counter("broker.cache.gets")
+        self._c_cache_hits = self.metrics.counter("broker.cache.hits")
+        self._c_cache_puts = self.metrics.counter("broker.cache.puts")
+        self._c_cache_evictions = self.metrics.counter(
+            "broker.cache.evictions"
+        )
+        # Fleet telemetry: per-worker metric deltas shipped on
+        # heartbeats/completions.  Reaped workers keep their totals
+        # (marked dead) so fleet sums stay correct across deaths.
+        self._worker_metrics: Dict[str, Dict[str, Any]] = {}
 
     # -- queue protocol ------------------------------------------------
 
@@ -244,7 +257,7 @@ class Broker:
         # job it would reach last — the least likely to race a start().
         job_id = max(by_victim[victim])
         self._leases[job_id] = thief
-        self.steals += 1
+        self._c_steals.inc()
         return job_id, self._payloads[job_id]
 
     def start(self, worker_id: str, job_id: JobId) -> bool:
@@ -262,7 +275,13 @@ class Broker:
             self._started.add(job_id)
             return True
 
-    def complete(self, worker_id: str, job_id: JobId, result: Any) -> None:
+    def complete(
+        self,
+        worker_id: str,
+        job_id: JobId,
+        result: Any,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Store one job's result (idempotent across duplicate runs).
 
         A worker reaped mid-result-upload lands here *after* its jobs
@@ -277,19 +296,33 @@ class Broker:
         """
         with self._lock:
             self._beat(worker_id, register=False)
+            if metrics is not None:
+                self._merge_worker_metrics(worker_id, metrics)
             batch_id, index = job_id
             job_id = (batch_id, index)
             results = self._results.get(batch_id)
             if results is None or index in results:
                 return  # dropped batch, or a duplicate completion
             results[index] = result
-            self.completed += 1
+            self._c_completed.inc()
             self._forget_job(job_id)
 
-    def heartbeat(self, worker_id: str) -> None:
-        """Record liveness (workers beat from a side thread mid-job)."""
+    def heartbeat(
+        self,
+        worker_id: str,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record liveness (workers beat from a side thread mid-job).
+
+        ``metrics``, when present, is a delta envelope
+        ``{"counters": {name: increment}, "gauges": {name: level}}``
+        from the worker's local registry — merged here under the queue
+        lock so the broker's fleet view moves atomically with liveness.
+        """
         with self._lock:
             self._beat(worker_id)
+            if metrics is not None:
+                self._merge_worker_metrics(worker_id, metrics)
 
     def fetch_ready(self, batch_id: str, start: int) -> List[Any]:
         """The contiguous completed results from index ``start`` on.
@@ -332,17 +365,59 @@ class Broker:
             return {"lease_timeout": self.lease_timeout}
 
     def stats(self) -> Dict[str, Any]:
-        """Queue diagnostics (tests, the fleet driver's summary line)."""
+        """Queue diagnostics (tests, the fleet driver's summary line).
+
+        One lock acquisition around every read: the returned dict is a
+        consistent point-in-time view (counters used to be plain
+        attributes readable mid-update between RPCs).
+        """
         with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, Any]:
+        return {
+            "workers": len(self._workers),
+            "pending": len(self._pending),
+            "leased": len(self._leases),
+            "batches": len(self._batch_totals),
+            "completed": self._c_completed.value,
+            "steals": self._c_steals.value,
+            "reaped_jobs": self._c_reaped.value,
+            "dropped_batches": self._c_dropped.value,
+        }
+
+    def obs_snapshot(self) -> Dict[str, Any]:
+        """The whole fleet's telemetry in one lock acquisition.
+
+        Queue stats, shared-cache stats, per-worker shipped metrics
+        (dead workers included, marked ``alive: false``), fleet-wide
+        counter totals, and the broker's own registry — all read under
+        the same lock hold, so ``repro dist top`` and ``repro obs
+        dump`` render a view where, e.g., ``completed`` and the
+        per-worker job counts cannot contradict each other.
+        """
+        with self._lock:
+            workers = {
+                worker_id: {
+                    "alive": record["alive"],
+                    "counters": dict(record["counters"]),
+                    "gauges": dict(record["gauges"]),
+                    "last_beat": record["last_beat"],
+                }
+                for worker_id, record in self._worker_metrics.items()
+            }
+            fleet_counters: Dict[str, int] = {}
+            for record in self._worker_metrics.values():
+                for name, value in record["counters"].items():
+                    fleet_counters[name] = (
+                        fleet_counters.get(name, 0) + value
+                    )
             return {
-                "workers": len(self._workers),
-                "pending": len(self._pending),
-                "leased": len(self._leases),
-                "batches": len(self._batch_totals),
-                "completed": self.completed,
-                "steals": self.steals,
-                "reaped_jobs": self.reaped_jobs,
-                "dropped_batches": self.dropped_batches,
+                "queue": self._stats_locked(),
+                "cache": self._cache_stats_locked(),
+                "workers": workers,
+                "fleet": {"counters": fleet_counters},
+                "broker": self.metrics.snapshot(),
             }
 
     # -- internals (call with the lock held) ---------------------------
@@ -352,6 +427,34 @@ class Broker:
         already known — reaped workers stay reaped until they pull."""
         if register or worker_id in self._workers:
             self._workers[worker_id] = self._clock()
+            record = self._worker_metrics.get(worker_id)
+            if record is not None:
+                record["alive"] = True
+                record["last_beat"] = self._workers[worker_id]
+
+    def _merge_worker_metrics(
+        self, worker_id: str, metrics: Dict[str, Any]
+    ) -> None:
+        """Fold one shipped delta envelope into the fleet view.
+
+        Counters accumulate (the worker ships increments since its last
+        successful ship — see ``_MetricsShipper``); gauges overwrite.
+        A reaped worker shipping a late delta still lands — its work
+        happened — but stays marked dead until it re-registers via
+        ``pull``.
+        """
+        record = self._worker_metrics.get(worker_id)
+        if record is None:
+            record = self._worker_metrics[worker_id] = {
+                "alive": worker_id in self._workers,
+                "counters": {},
+                "gauges": {},
+                "last_beat": self._clock(),
+            }
+        counters = record["counters"]
+        for name, delta in metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + delta
+        record["gauges"].update(metrics.get("gauges", {}))
 
     def _drop_batch(self, batch_id: str) -> None:
         self._batch_totals.pop(batch_id, None)
@@ -370,7 +473,7 @@ class Broker:
             if now - polled > self.batch_ttl
         ]:
             self._drop_batch(batch_id)
-            self.dropped_batches += 1
+            self._c_dropped.inc()
         dead = [
             w
             for w, beat in self._workers.items()
@@ -387,7 +490,13 @@ class Broker:
             # Front of the queue, oldest index first: a re-enqueued job
             # is picked up before fresh work, bounding its extra delay.
             self._pending.extendleft(reversed(orphaned))
-            self.reaped_jobs += len(orphaned)
+            self._c_reaped.inc(len(orphaned))
+            # Keep the dead worker's shipped metric totals — fleet
+            # sums must not shrink when a worker dies — but mark it so
+            # the console shows it gone.
+            record = self._worker_metrics.get(worker_id)
+            if record is not None:
+                record["alive"] = False
 
     def _forget_job(self, job_id: JobId) -> None:
         self._payloads.pop(job_id, None)
@@ -399,18 +508,18 @@ class Broker:
     def cache_get(self, key: str) -> Optional[bytes]:
         """The blob stored under one content address (``None`` = miss)."""
         with self._lock:
-            self._cache_gets += 1
+            self._c_cache_gets.inc()
             blob = self._cache.get(key)
             if blob is None:
                 return None
-            self._cache_hits += 1
+            self._c_cache_hits.inc()
             self._cache.move_to_end(key)
             return blob
 
     def cache_put(self, key: str, blob: bytes) -> None:
         """Publish one blob (LRU-evicting beyond ``cache_max_bytes``)."""
         with self._lock:
-            self._cache_puts += 1
+            self._c_cache_puts.inc()
             old = self._cache.pop(key, None)
             if old is not None:
                 self._cache_bytes -= len(old)
@@ -421,19 +530,22 @@ class Broker:
             while self._cache_bytes > self.cache_max_bytes and self._cache:
                 _, evicted = self._cache.popitem(last=False)
                 self._cache_bytes -= len(evicted)
-                self._cache_evictions += 1
+                self._c_cache_evictions.inc()
 
     def cache_stats(self) -> Dict[str, int]:
         """Shared-store counters (cross-worker hits show up in ``hits``)."""
         with self._lock:
-            return {
-                "entries": len(self._cache),
-                "bytes": self._cache_bytes,
-                "gets": self._cache_gets,
-                "hits": self._cache_hits,
-                "puts": self._cache_puts,
-                "evictions": self._cache_evictions,
-            }
+            return self._cache_stats_locked()
+
+    def _cache_stats_locked(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._cache),
+            "bytes": self._cache_bytes,
+            "gets": self._c_cache_gets.value,
+            "hits": self._c_cache_hits.value,
+            "puts": self._c_cache_puts.value,
+            "evictions": self._c_cache_evictions.value,
+        }
 
 
 # ----------------------------------------------------------------------

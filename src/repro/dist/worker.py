@@ -39,6 +39,7 @@ import uuid
 from multiprocessing import AuthenticationError
 from typing import Optional
 
+from repro import obs
 from repro.errors import ReproError
 from repro.faults import injector as faults
 from repro.retry import DEFAULT_RETRY, RetryPolicy
@@ -88,6 +89,45 @@ def _execute(payload: JobPayload, max_failure_text: int = MAX_FAILURE_TEXT):
         )
 
 
+class _MetricsShipper:
+    """Ships this process's counter deltas to the broker, exactly once.
+
+    ``ship(send)`` snapshots the local registry, computes the increment
+    since the last *successful* ship, and hands the delta envelope
+    (``None`` when there is nothing new) to ``send``, which performs
+    the actual RPC.  The baseline only advances after ``send`` returns,
+    so a failed upload re-ships the same delta next time instead of
+    losing it — and the lock is held across the RPC so the heartbeat
+    thread and the main loop can never ship the same delta twice.
+
+    With metrics disabled the registry snapshot is empty, every
+    envelope is ``None``, and the broker sees plain heartbeats.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._shipped: dict = {}
+
+    def ship(self, send) -> None:
+        with self._lock:
+            registry = obs.registry()
+            snap = registry.counters_snapshot()
+            shipped = self._shipped
+            deltas = {
+                name: value - shipped.get(name, 0)
+                for name, value in snap.items()
+                if value != shipped.get(name, 0)
+            }
+            gauges = registry.gauges_snapshot()
+            envelope = (
+                {"counters": deltas, "gauges": gauges}
+                if deltas or gauges
+                else None
+            )
+            send(envelope)
+            self._shipped = snap
+
+
 class _Heartbeat(threading.Thread):
     """Beats over a dedicated broker connection until stopped.
 
@@ -96,12 +136,13 @@ class _Heartbeat(threading.Thread):
     process would, so the broker's reaper path is exercised for real.
     """
 
-    def __init__(self, address, authkey, worker_id, interval):
+    def __init__(self, address, authkey, worker_id, interval, shipper=None):
         super().__init__(name=f"heartbeat-{worker_id}", daemon=True)
         self._address = address
         self._authkey = authkey
         self._worker_id = worker_id
         self._interval = interval
+        self._shipper = shipper
         # Not named ``_stop``: Thread.is_alive() calls its own private
         # ``_stop()`` method, which an Event attribute would shadow.
         self._halt = threading.Event()
@@ -111,7 +152,15 @@ class _Heartbeat(threading.Thread):
             broker = connect(self._address, authkey=self._authkey).broker
             while not self._halt.wait(self._interval):
                 faults.fire("worker.heartbeat", worker_id=self._worker_id)
-                broker.heartbeat(self._worker_id)
+                if self._shipper is not None:
+                    # Each beat piggybacks the metric delta since the
+                    # last successful ship — the broker's fleet view
+                    # stays live without extra RPCs.
+                    self._shipper.ship(
+                        lambda env: broker.heartbeat(self._worker_id, env)
+                    )
+                else:
+                    broker.heartbeat(self._worker_id)
         except _BROKER_GONE:
             return
 
@@ -157,6 +206,7 @@ def worker_loop(
         Per-field bound on shipped :class:`JobFailure` text.
     """
     faults.install_from_env()
+    obs.install_from_env()
     address = parse_address(address)
     worker_id = worker_id or default_worker_id()
 
@@ -177,10 +227,24 @@ def worker_loop(
         )
     broker = connection.broker
     beat_interval = max(lease_timeout / 4, 0.02)
+    # Workers always count their work: the broker's fleet view (`repro
+    # dist top`) is only as good as what workers ship, and the counting
+    # cost is noise next to a job.  Restored on exit so an in-process
+    # caller (tests) does not leak an enabled registry.
+    metrics_were_enabled = obs.metrics_enabled()
+    obs.enable_metrics()
+    c_jobs = obs.counter("worker.jobs")
+    c_failed = obs.counter("worker.jobs_failed")
+    c_skipped = obs.counter("worker.jobs_stolen_away")
+    shipper = _MetricsShipper()
 
     def _start_heartbeat() -> _Heartbeat:
         heartbeat = _Heartbeat(
-            address, authkey, worker_id, interval=beat_interval
+            address,
+            authkey,
+            worker_id,
+            interval=beat_interval,
+            shipper=shipper,
         )
         heartbeat.start()
         return heartbeat
@@ -239,14 +303,27 @@ def worker_loop(
             for job_id, payload in leased:
                 try:
                     if not broker.start(worker_id, job_id):
+                        c_skipped.inc()
                         continue  # stolen while leased — the thief runs it
                     faults.fire(
                         "worker.execute",
                         worker_id=worker_id,
                         job_id=job_id,
                     )
-                    result = _execute(payload, max_failure_text)
-                    broker.complete(worker_id, job_id, result)
+                    with obs.span("worker.job") as job_span:
+                        job_span.set("job", list(job_id))
+                        result = _execute(payload, max_failure_text)
+                    c_jobs.inc()
+                    if isinstance(result, JobFailure):
+                        c_failed.inc()
+                    # The result upload carries the metric delta too,
+                    # so a worker that dies right after its last job
+                    # has already shipped that job's counters.
+                    shipper.ship(
+                        lambda env: broker.complete(
+                            worker_id, job_id, result, env
+                        )
+                    )
                     executed += 1
                 except _BROKER_GONE:
                     if _reconnect():
@@ -255,4 +332,6 @@ def worker_loop(
     finally:
         heartbeat.stop()
         dist_jobs.set_active_cache(previous_cache)
+        if not metrics_were_enabled:
+            obs.disable_metrics()
     return executed

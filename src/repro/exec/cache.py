@@ -46,7 +46,7 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro import _version
+from repro import _version, obs
 from repro.errors import CacheCorruptionError, ReproError
 from repro.faults import injector as faults
 
@@ -234,6 +234,14 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.quarantined = 0
+        # Mirrors of the instance counters in the process registry
+        # (no-op stubs when metrics are off): the instance attributes
+        # stay the per-store API, the registry aggregates across every
+        # store in the process and ships to the broker's fleet view.
+        self._c_hits = obs.counter("cache.hits")
+        self._c_misses = obs.counter("cache.misses")
+        self._c_evictions = obs.counter("cache.evictions")
+        self._c_quarantined = obs.counter("cache.quarantined")
         # Running footprint estimate for the bounded cache: seeded by
         # one directory scan on the first store, then bumped per put.
         # Re-putting an existing key over-counts, which only triggers
@@ -305,11 +313,15 @@ class ResultCache:
         scheduler) build on, so the counters mean the same thing on
         every path.
         """
-        hit, value = self.get(key)
+        with obs.span("cache.lookup") as span:
+            hit, value = self.get(key)
+            span.set("hit", hit)
         if hit:
             self.hits += 1
+            self._c_hits.inc()
         else:
             self.misses += 1
+            self._c_misses.inc()
         return hit, value
 
     def put(self, key: str, value: Any) -> None:
@@ -369,6 +381,7 @@ class ResultCache:
             # Already quarantined/evicted by a concurrent reader.
             return
         self.quarantined += 1
+        self._c_quarantined.inc()
 
     def entry_paths(self) -> list:
         """All entry files currently on disk (any fan-out directory)."""
@@ -439,6 +452,7 @@ class ResultCache:
                     continue
                 total -= size
                 self.evictions += 1
+                self._c_evictions.inc()
         self._approx_bytes = total
 
     def fetch(

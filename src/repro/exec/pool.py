@@ -28,6 +28,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro import obs
 from repro.errors import SimulationError
 
 T = TypeVar("T")
@@ -85,26 +86,34 @@ def parallel_map(
     job is never silently dropped or reordered.
     """
     job_list = list(items)
+    obs.counter("pool.maps").inc()
+    obs.counter("pool.jobs").inc(len(job_list))
     if executor is not None:
         return executor.map(fn, job_list, on_result=on_result)
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(job_list) <= 1:
-        results: List[R] = []
-        for index, item in enumerate(job_list):
-            result = fn(item)
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
+        with obs.span("pool.map_serial") as span:
+            span.set("jobs", len(job_list))
+            results: List[R] = []
+            for index, item in enumerate(job_list):
+                result = fn(item)
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results
     workers = min(workers, len(job_list))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # Executor.map yields results in submission order regardless of
-        # completion order: the ordered merge the contract requires.
-        results = []
-        for index, result in enumerate(
-            pool.map(fn, job_list, chunksize=chunksize)
-        ):
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
+    with obs.span("pool.map") as span:
+        span.set("jobs", len(job_list))
+        span.set("workers", workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map yields results in submission order
+            # regardless of completion order: the ordered merge the
+            # contract requires.
+            results = []
+            for index, result in enumerate(
+                pool.map(fn, job_list, chunksize=chunksize)
+            ):
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results

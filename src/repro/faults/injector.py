@@ -39,6 +39,7 @@ import time
 from random import Random
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.faults.plan import FaultEvent, FaultPlan
 
 __all__ = [
@@ -98,6 +99,7 @@ class FaultInjector:
             "detail": detail,
             "pid": os.getpid(),
         }
+        obs.counter("faults.injected").inc()
         with self._lock:
             self.records.append(record)
             if self.log_path:

@@ -1,0 +1,218 @@
+"""repro.obs — unified metrics, tracing, and fleet telemetry.
+
+The observability layer for the whole runtime: a process-global
+:class:`~repro.obs.metrics.MetricsRegistry` (counters/gauges/
+histograms), span tracing into a bounded
+:class:`~repro.obs.trace.FlightRecorder` with Chrome ``trace_event``
+export, and a leveled logger (:mod:`repro.obs.log`).  Workers ship
+metric deltas to the broker on heartbeats so ``repro dist top`` and
+``repro obs dump`` see a live fleet-wide view.
+
+Design contract — observation only:
+
+* **Disabled is free.** ``span(...)`` returns a shared no-op singleton
+  and ``counter(...)`` a shared no-op stub when the corresponding
+  facility is off; the hot paths allocate nothing and take no locks
+  (``tests/test_obs.py`` asserts zero allocations in the sim drain
+  loop with obs off, and ``bench_obs_overhead`` tracks the cost).
+* **Never load-bearing.** Metric values and spans must not feed cache
+  keys, merge order, RNG state, or any other result-affecting input.
+  The bitwise-determinism and chaos suites run with tracing enabled to
+  enforce this.
+
+Typical use at an instrumentation site::
+
+    from repro import obs
+
+    with obs.span("solver.lp_solve", scenario=name):
+        solution = program.solve_adaptive(bound)
+    obs.counter("solver.lp_solves").inc()
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from . import log
+from .metrics import (
+    MetricsRegistry,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+)
+from .trace import DEFAULT_CAPACITY, NOOP_SPAN, FlightRecorder, Span
+
+__all__ = [
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "enabled",
+    "registry",
+    "recorder",
+    "snapshot",
+    "export_trace",
+    "install_from_env",
+    "reset",
+    "log",
+    "MetricsRegistry",
+    "FlightRecorder",
+]
+
+#: Environment knobs — workers inherit observability from the process
+#: that spawned them the same way fault plans propagate
+#: (``repro.faults.install_from_env``).
+ENV_METRICS = "REPRO_OBS_METRICS"
+ENV_TRACE = "REPRO_OBS_TRACE"
+
+_lock = threading.Lock()
+
+# Registries are swapped whole on enable/disable rather than toggled in
+# place: a disabled registry *is* the no-op implementation, so the hot
+# path never tests a flag.
+_registry = MetricsRegistry(enabled=False)
+_recorder: Optional[FlightRecorder] = None
+
+
+# -- metrics ------------------------------------------------------------
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn on metrics for this process (idempotent)."""
+    global _registry
+    with _lock:
+        if not _registry.enabled:
+            _registry = MetricsRegistry(enabled=True)
+        return _registry
+
+
+def disable_metrics() -> None:
+    global _registry
+    with _lock:
+        _registry = MetricsRegistry(enabled=False)
+
+
+def metrics_enabled() -> bool:
+    return _registry.enabled
+
+
+def registry() -> MetricsRegistry:
+    """The live process registry (no-op flavoured when disabled)."""
+    return _registry
+
+
+def counter(name: str):
+    return _registry.counter(name)
+
+
+def gauge(name: str):
+    return _registry.gauge(name)
+
+
+def histogram(name: str):
+    return _registry.histogram(name)
+
+
+# -- tracing ------------------------------------------------------------
+
+
+def enable_tracing(capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+    """Turn on span recording for this process (idempotent)."""
+    global _recorder
+    with _lock:
+        if _recorder is None:
+            _recorder = FlightRecorder(capacity=capacity)
+        return _recorder
+
+
+def disable_tracing() -> None:
+    global _recorder
+    with _lock:
+        _recorder = None
+
+
+def tracing_enabled() -> bool:
+    return _recorder is not None
+
+
+def recorder() -> Optional[FlightRecorder]:
+    return _recorder
+
+
+def span(name: str, **args: Any):
+    """A timed region; the shared no-op singleton when tracing is off.
+
+    Keyword arguments become the span's ``args`` annotations in the
+    exported trace.  Sites on hot paths should pass no kwargs (the
+    disabled call is then argument-free and allocation-free) and use
+    ``span.set(...)`` for annotations instead.
+    """
+    rec = _recorder
+    if rec is None:
+        return NOOP_SPAN
+    return Span(name, rec, args or None)
+
+
+def export_trace(path: str) -> int:
+    """Write recorded spans as Chrome trace JSON; returns event count."""
+    rec = _recorder
+    if rec is None:
+        raise RuntimeError("tracing is not enabled; nothing to export")
+    return rec.export(path)
+
+
+# -- combined helpers ---------------------------------------------------
+
+
+def enabled() -> bool:
+    return metrics_enabled() or tracing_enabled()
+
+
+def snapshot() -> Dict[str, Any]:
+    """Local process telemetry as one JSON-compatible dict."""
+    snap = _registry.snapshot()
+    rec = _recorder
+    snap["tracing"] = {
+        "enabled": rec is not None,
+        "recorded": rec.recorded if rec is not None else 0,
+        "dropped": rec.dropped() if rec is not None else 0,
+    }
+    return snap
+
+
+def install_from_env(environ: Optional[Dict[str, str]] = None) -> None:
+    """Enable observability from environment variables.
+
+    Workers are separate processes: the CLI sets :data:`ENV_METRICS` /
+    :data:`ENV_TRACE` before spawning so the fleet inherits the parent's
+    observability choices.  ``REPRO_OBS_TRACE`` may be ``1`` or a span
+    capacity.
+    """
+    env = os.environ if environ is None else environ
+    if env.get(ENV_METRICS, "") not in ("", "0"):
+        enable_metrics()
+    raw = env.get(ENV_TRACE, "")
+    if raw not in ("", "0"):
+        try:
+            capacity = int(raw)
+        except ValueError:
+            capacity = DEFAULT_CAPACITY
+        enable_tracing(capacity if capacity > 1 else DEFAULT_CAPACITY)
+
+
+def reset() -> None:
+    """Disable everything and drop recorded state (test isolation)."""
+    global _registry, _recorder
+    with _lock:
+        _registry = MetricsRegistry(enabled=False)
+        _recorder = None
+    log.set_level(log.INFO)
+    log.set_stream(None)

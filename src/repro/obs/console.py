@@ -1,0 +1,148 @@
+"""Rendering for ``repro dist top`` — a live fleet console.
+
+The renderer is a pure function from broker ``obs_snapshot()`` dicts to
+a text frame, so tests (and ``--once`` mode) exercise exactly what the
+interactive loop draws.  The loop itself lives in
+:func:`repro.cli._cmd_dist_top`; it repaints in place with ANSI
+clear-screen codes — no curses dependency, works in any VT100 terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["render_top", "CLEAR_SCREEN"]
+
+#: ANSI: cursor home + erase below — repaint without scrollback spam.
+CLEAR_SCREEN = "\x1b[H\x1b[J"
+
+
+def _rate(counters: Dict[str, int], hits_key: str, total_key: str) -> str:
+    total = counters.get(total_key, 0)
+    if not total:
+        return "-"
+    return "%.0f%%" % (100.0 * counters.get(hits_key, 0) / total)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return "%.0f%s" % (n, unit) if unit == "B" else "%.1f%s" % (n, unit)
+        n /= 1024.0
+    return "%.1fGiB" % n
+
+
+def render_top(
+    snapshot: Dict[str, Any],
+    previous: Optional[Dict[str, Any]] = None,
+    interval: Optional[float] = None,
+) -> str:
+    """Render one console frame from a broker ``obs_snapshot()``.
+
+    ``previous`` (the prior frame's snapshot) and ``interval`` (seconds
+    between them) turn cumulative per-worker job counts into live
+    throughput columns; without them the rate column shows ``-``.
+    """
+    queue = snapshot.get("queue", {})
+    cache = snapshot.get("cache", {})
+    workers: Dict[str, Any] = snapshot.get("workers", {})
+    fleet = snapshot.get("fleet", {}).get("counters", {})
+
+    lines: List[str] = []
+    lines.append(
+        "repro dist top — workers %d  pending %d  leased %d  "
+        "batches %d  completed %d"
+        % (
+            queue.get("workers", 0),
+            queue.get("pending", 0),
+            queue.get("leased", 0),
+            queue.get("batches", 0),
+            queue.get("completed", 0),
+        )
+    )
+    lines.append(
+        "queue: steals %d  reaped %d  dropped-batches %d    "
+        "faults: injected %d  retries %d"
+        % (
+            queue.get("steals", 0),
+            queue.get("reaped_jobs", 0),
+            queue.get("dropped_batches", 0),
+            fleet.get("faults.injected", 0),
+            fleet.get("retry.retries", 0),
+        )
+    )
+    lines.append(
+        "shared cache: %d entries  %s  hit %s (%d/%d)  puts %d  evictions %d"
+        % (
+            cache.get("entries", 0),
+            _fmt_bytes(cache.get("bytes", 0)),
+            _rate(cache, "hits", "gets"),
+            cache.get("hits", 0),
+            cache.get("gets", 0),
+            cache.get("puts", 0),
+            cache.get("evictions", 0),
+        )
+    )
+    lines.append(
+        "worker caches: tier hit %s (local %d + shared %d / %d)  "
+        "publishes %d  remote-down %d"
+        % (
+            _rate(
+                {
+                    "hits": fleet.get("cachetier.hits", 0),
+                    "gets": fleet.get("cachetier.hits", 0)
+                    + fleet.get("cachetier.misses", 0),
+                },
+                "hits",
+                "gets",
+            ),
+            fleet.get("cachetier.local_hits", 0),
+            fleet.get("cachetier.shared_hits", 0),
+            fleet.get("cachetier.hits", 0) + fleet.get("cachetier.misses", 0),
+            fleet.get("cachetier.publishes", 0),
+            fleet.get("cachetier.remote_down", 0),
+        )
+    )
+    lines.append("")
+    lines.append(
+        "%-22s %6s %8s %8s %8s %9s" % ("WORKER", "STATE", "JOBS", "FAILED", "JOBS/S", "TIER-HIT")
+    )
+
+    prev_workers: Dict[str, Any] = (previous or {}).get("workers", {})
+    for worker_id in sorted(workers):
+        info = workers[worker_id]
+        counters = info.get("counters", {})
+        jobs = counters.get("worker.jobs", 0)
+        failed = counters.get("worker.jobs_failed", 0)
+        rate = "-"
+        if interval and worker_id in prev_workers:
+            prev_jobs = prev_workers[worker_id].get("counters", {}).get(
+                "worker.jobs", 0
+            )
+            rate = "%.2f" % ((jobs - prev_jobs) / interval)
+        tier_hit = _rate(
+            {
+                "hits": counters.get("cachetier.hits", 0),
+                "gets": counters.get("cachetier.hits", 0)
+                + counters.get("cachetier.misses", 0),
+            },
+            "hits",
+            "gets",
+        )
+        lines.append(
+            "%-22s %6s %8d %8d %8s %9s"
+            % (
+                worker_id[:22],
+                "up" if info.get("alive", False) else "gone",
+                jobs,
+                failed,
+                rate,
+                tier_hit,
+            )
+        )
+    if not workers:
+        lines.append("  (no workers have reported metrics yet)")
+
+    lines.append("")
+    lines.append("q: quit   refresh: %.1fs" % (interval or 0.0))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,76 @@
+"""A small leveled logger for CLI and fleet runtime output.
+
+The CLI's dist paths used raw ``print`` for progress and summaries,
+which made fleet runs unscriptable without stdout scraping.  This
+module is the replacement: everything human-oriented goes to *stderr*
+through :func:`info`/:func:`detail`/:func:`warn`, levels are set once
+from ``--quiet``/``-v``, and stdout stays reserved for machine output
+(JSON artifacts, ``obs dump``).
+
+Not :mod:`logging`: no handlers, no formatters, no global config
+surface — three levels and a stream is all the runtime needs, and a
+flat module keeps import cost nil for library users who never log.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional, TextIO
+
+__all__ = [
+    "QUIET",
+    "INFO",
+    "DETAIL",
+    "set_level",
+    "get_level",
+    "info",
+    "detail",
+    "warn",
+]
+
+QUIET = 0  # warnings only
+INFO = 1  # default: progress summaries, fleet/journal lines
+DETAIL = 2  # -v: per-item progress, worker chatter
+
+_level = INFO
+#: None means "whatever sys.stderr currently is" — resolved per call so
+#: pytest's capture (which swaps sys.stderr) sees the output.
+_stream: Optional[TextIO] = None
+
+
+def set_level(level: int) -> None:
+    global _level
+    _level = level
+
+
+def get_level() -> int:
+    return _level
+
+
+def set_stream(stream: Optional[TextIO]) -> None:
+    """Redirect log output; ``None`` restores the live-stderr default."""
+    global _stream
+    _stream = stream
+
+
+def _emit(message: str) -> None:
+    stream = _stream if _stream is not None else sys.stderr
+    print(message, file=stream, flush=True)
+
+
+def info(message: str, *args: Any) -> None:
+    """Default-level output: summaries, one-line results."""
+    if _level >= INFO:
+        _emit(message % args if args else message)
+
+
+def detail(message: str, *args: Any) -> None:
+    """Verbose output (``-v``): per-item progress, worker chatter."""
+    if _level >= DETAIL:
+        _emit(message % args if args else message)
+
+
+def warn(message: str, *args: Any) -> None:
+    """Always shown, even under ``--quiet``."""
+    if _level >= QUIET:
+        _emit("warning: " + (message % args if args else message))

@@ -1,0 +1,201 @@
+"""Named counters, gauges and histograms — the metrics half of obs.
+
+A :class:`MetricsRegistry` hands out metric objects by name; callers
+fetch them once (at object construction or module import) and call
+``inc``/``set``/``observe`` on the hot path.  A registry built with
+``enabled=False`` hands out the shared no-op stubs instead, so a
+disabled runtime pays one method call on a singleton per site — no
+dict lookups, no allocation, no branching at the call site.
+
+Counter values are plain Python ints/floats mutated under the GIL;
+:meth:`MetricsRegistry.snapshot` takes the registry lock only to get a
+consistent *set* of metrics (new registrations mid-snapshot), the
+values themselves are read atomically.  That is exactly the consistency
+the fleet aggregation needs: counter deltas shipped from workers are
+merged on the broker under its queue lock (see
+:meth:`repro.dist.queue.Broker.obs_snapshot`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, hits, jobs)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, bytes resident)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max of an observed quantity.
+
+    Deliberately bucket-free: the runtime's histograms (fixed-point
+    iteration counts, span durations) are summarised, not plotted, and
+    four scalars keep the snapshot wire format trivial.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NoopCounter:
+    """Shared do-nothing counter a disabled registry hands out."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NoopGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NoopHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: The stubs every disabled registry shares (identity-comparable, so
+#: tests can assert a call site really got the no-op path).
+NOOP_COUNTER = _NoopCounter()
+NOOP_GAUGE = _NoopGauge()
+NOOP_HISTOGRAM = _NoopHistogram()
+
+
+class MetricsRegistry:
+    """A namespace of metrics, snapshot-able as plain dicts.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes every accessor return the shared no-op stub —
+        the registry stays empty and costs nothing.  The flag is fixed
+        at construction; the *global* runtime registry is swapped, not
+        mutated, by :func:`repro.obs.enable_metrics` (call sites fetch
+        their metrics at construction time, so objects built before the
+        swap keep their stubs — enable observability first, then build
+        the runtime, which is the order the CLI guarantees).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (get-or-create by name) -----------------------------
+
+    def counter(self, name: str):
+        if not self.enabled:
+            return NOOP_COUNTER
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str):
+        if not self.enabled:
+            return NOOP_GAUGE
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str):
+        if not self.enabled:
+            return NOOP_HISTOGRAM
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    # -- snapshots ------------------------------------------------------
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Flat ``name -> value`` of every counter (delta shipping)."""
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    def gauges_snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: g.value for name, g in self._gauges.items()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as JSON-compatible plain dicts."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {
+                    name: g.value for name, g in self._gauges.items()
+                },
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "sum": h.sum,
+                        "min": h.min,
+                        "max": h.max,
+                    }
+                    for name, h in self._histograms.items()
+                },
+            }

@@ -1,0 +1,164 @@
+"""Span tracing with a bounded flight recorder and Chrome export.
+
+``span(name, **args)`` is a context manager around a timed region.
+When tracing is disabled the module-level helpers in :mod:`repro.obs`
+hand back the shared :data:`NOOP_SPAN` singleton — entering and
+exiting it does nothing and allocates nothing, which is what keeps the
+instrumented hot paths free when observability is off.
+
+Completed spans land in a :class:`FlightRecorder`: a fixed-capacity
+ring (``collections.deque(maxlen=...)``) that keeps the most recent
+spans and counts how many it dropped, so a week-long fleet run cannot
+grow memory without bound.  :meth:`FlightRecorder.to_chrome` renders
+the ring as Chrome ``trace_event`` JSON — complete ("ph": "X") events
+with microsecond timestamps — loadable directly in ``chrome://tracing``
+or Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "NOOP_SPAN", "FlightRecorder"]
+
+DEFAULT_CAPACITY = 50_000
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed region; records itself into a recorder on exit."""
+
+    __slots__ = ("name", "args", "_recorder", "_start_ns")
+
+    def __init__(
+        self,
+        name: str,
+        recorder: "FlightRecorder",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.args = args
+        self._recorder = recorder
+        self._start_ns = 0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an annotation discovered mid-span (e.g. iteration count)."""
+        if self.args is None:
+            self.args = {}
+        self.args[key] = value
+
+    def __enter__(self) -> "Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end_ns = time.perf_counter_ns()
+        self._recorder.record(
+            self.name, self._start_ns, end_ns - self._start_ns, self.args
+        )
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of completed spans.
+
+    ``recorded`` counts every span ever recorded; ``len(recorder)`` is
+    what the ring still holds, so ``dropped()`` is the overflow.  The
+    lock only guards the deque append + counter pair (deque.append is
+    itself thread-safe, but the recorded counter must move with it).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self.recorded = 0
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def record(
+        self,
+        name: str,
+        start_ns: int,
+        dur_ns: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        with self._lock:
+            self.recorded += 1
+            self._spans.append((name, start_ns, dur_ns, args))
+
+    def dropped(self) -> int:
+        return self.recorded - len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.recorded = 0
+
+    def spans(self) -> List[tuple]:
+        with self._lock:
+            return list(self._spans)
+
+    # -- export ---------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Render the ring as a Chrome ``trace_event`` JSON document.
+
+        Complete events ("ph": "X") with microsecond ``ts``/``dur``;
+        pid/tid identify the recording process so multi-process traces
+        (broker + workers each exporting) can be concatenated by merging
+        their ``traceEvents`` lists.
+        """
+        pid = os.getpid()
+        tid = threading.get_ident() & 0xFFFF
+        events = []
+        for name, start_ns, dur_ns, args in self.spans():
+            event: Dict[str, Any] = {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "X",
+                "ts": start_ns / 1000.0,
+                "dur": dur_ns / 1000.0,
+                "pid": pid,
+                "tid": tid,
+            }
+            if args:
+                event["args"] = args
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "recorded": self.recorded,
+                "dropped": self.dropped(),
+            },
+        }
+
+    def export(self, path: str) -> int:
+        """Write the Chrome trace JSON to ``path``; returns event count."""
+        doc = self.to_chrome()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return len(doc["traceEvents"])

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Any, Callable, List, Optional
 
+from repro import obs
 from repro.errors import ReproError, is_transient
 
 __all__ = ["RetryPolicy", "DEFAULT_RETRY"]
@@ -99,6 +100,7 @@ class RetryPolicy:
             except BaseException as exc:
                 if attempt >= len(schedule) or not classify(exc):
                     raise
+                obs.counter("retry.retries").inc()
                 if on_retry is not None:
                     on_retry(attempt + 1, exc)
                 sleep(schedule[attempt])

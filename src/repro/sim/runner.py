@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.arch.topology import Topology
 from repro.errors import SimulationError
 from repro.exec.pool import parallel_map
@@ -117,13 +118,23 @@ def simulate(
     baseline_lost: Dict[str, int] = {}
     baseline_timeout: Dict[str, int] = {}
     baseline_delivered: Dict[str, int] = {}
+    # Instrumentation is per *window*, never per event: the drain loops
+    # inside ``advance`` stay allocation-free with obs disabled (the
+    # zero-allocation test in tests/test_obs.py pins this).
     if warmup > 0:
-        advance(warmup)
+        with obs.span("sim.window") as span:
+            span.set("backend", backend)
+            span.set("phase", "warmup")
+            advance(warmup)
         baseline_offered = dict(system.monitor.offered)
         baseline_lost = dict(system.monitor.lost)
         baseline_timeout = dict(system.monitor.timed_out)
         baseline_delivered = dict(system.monitor.delivered)
-    advance(warmup + duration)
+    with obs.span("sim.window") as span:
+        span.set("backend", backend)
+        span.set("phase", "measure")
+        advance(warmup + duration)
+    obs.counter("sim.windows").inc()
     monitor = system.monitor
     offered = {
         p: monitor.offered.get(p, 0) - baseline_offered.get(p, 0)

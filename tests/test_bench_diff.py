@@ -79,6 +79,17 @@ class TestFindRegressions:
         with pytest.raises(ValueError):
             find_regressions(_report(), _report(), threshold=0.0)
 
+    def test_obs_overhead_bench_is_covered(self):
+        # bench_obs_overhead reports events_per_second per mode, so a
+        # disabled-path slowdown trips the diff like any throughput
+        # bench — parametrized modes are distinct fullnames.
+        name = "bench_obs_overhead.py::test_bench_obs_overhead[off]"
+        prev = _report(_bench(name, eps=20_000_000, mean=1.0))
+        curr = _report(_bench(name, eps=10_000_000, mean=1.0))
+        found = find_regressions(prev, curr, threshold=0.15)
+        assert [r.name for r in found] == [name]
+        assert found[0].metric == "events_per_second"
+
 
 class TestMain:
     def _write(self, path, report):

@@ -238,9 +238,11 @@ class TestDistCli:
             "--budgets", "8", "--reps", "2", "--duration", "100",
             "--jobs", "2", "--verify-local", "--json", str(out_json),
         ]) == 0
-        out = capsys.readouterr().out
-        assert "bitwise-identical" in out
-        assert "single-bus-4" in out
+        captured = capsys.readouterr()
+        # Status lines go to stderr (repro.obs.log); the table to stdout.
+        assert "bitwise-identical" in captured.err
+        assert "single-bus-4" in captured.out
+        out = captured.out
         import json
 
         cells = json.loads(out_json.read_text())
