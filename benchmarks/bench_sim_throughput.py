@@ -40,6 +40,13 @@ def _setup(scenario):
 
 def _run(topology, capacities, backend):
     """One fixed-seed run returning the monitor (event counts)."""
+    if backend == "megabatch":
+        from repro.sim.megabatch import MegaBatchLane
+
+        lane = MegaBatchLane(topology, capacities, [3])
+        lane.start()
+        lane.run_until(DURATION)
+        return lane.monitor_for(0)
     system = CommunicationSystem(topology, capacities, seed=3)
     if backend == "batched":
         from repro.sim.batched import BatchedSystem
@@ -73,9 +80,68 @@ def test_simulator_throughput(benchmark, scenario, backend):
         )
 
 
+#: Replication counts of the mega-batch replication-throughput bench.
+MEGABATCH_RS = (1, 8, 32)
+
+
+def _run_replications(topology, capacities, backend, replications):
+    """One fixed-seed replication batch; returns per-rep monitors."""
+    seeds = [3 + 1000 * r for r in range(replications)]
+    if backend == "megabatch":
+        from repro.sim.megabatch import MegaBatchLane
+
+        lane = MegaBatchLane(topology, capacities, seeds)
+        lane.start()
+        lane.run_until(DURATION)
+        return [lane.monitor_for(r) for r in range(lane.R)]
+    monitors = []
+    for seed in seeds:
+        from repro.sim.batched import BatchedSystem
+
+        lane = BatchedSystem(
+            CommunicationSystem(topology, capacities, seed=seed)
+        )
+        lane.start()
+        lane.run_until(DURATION)
+        monitors.append(lane.monitor)
+    return monitors
+
+
+@pytest.mark.parametrize("replications", MEGABATCH_RS)
+@pytest.mark.parametrize("backend", ("batched", "megabatch"))
+def test_replication_throughput(benchmark, backend, replications):
+    """Replications/s of one netproc cell: mega-batch vs serial batched.
+
+    The mega-batch acceptance headline — one kernel cell advancing R
+    replications at once vs R serial batched runs — measured on the
+    paper's testbed.  Reports both ``replications_per_second`` and
+    ``events_per_second`` so the diff harness tracks whichever is
+    present.
+    """
+    benchmark.group = f"replication_throughput[netproc,R={replications}]"
+    topology, capacities = _setup("netproc")
+
+    monitors = benchmark(
+        _run_replications, topology, capacities, backend, replications
+    )
+    events = sum(
+        m.total_offered() + m.waiting_time_count for m in monitors
+    )
+    assert events > 0
+    if benchmark.stats:  # absent under --benchmark-disable
+        mean = benchmark.stats["mean"]
+        benchmark.extra_info["scenario"] = "netproc"
+        benchmark.extra_info["replications"] = replications
+        benchmark.extra_info["events"] = events
+        benchmark.extra_info["events_per_second"] = round(events / mean)
+        benchmark.extra_info["replications_per_second"] = round(
+            replications / mean, 3
+        )
+
+
 @pytest.mark.parametrize("scenario", BENCH_SCENARIOS)
 def test_backend_equivalence_smoke(scenario):
-    """The two backends agree bitwise on the bench workloads.
+    """All three backends agree bitwise on the bench workloads.
 
     Guards the determinism contract right where the speedup is
     measured: identical fixed-seed metrics, so the throughput
@@ -86,7 +152,11 @@ def test_backend_equivalence_smoke(scenario):
     batched = simulate(
         topology, capacities, duration=150.0, seed=3, backend="batched"
     )
+    megabatch = simulate(
+        topology, capacities, duration=150.0, seed=3, backend="megabatch"
+    )
     assert heap == batched
+    assert heap == megabatch
 
 
 @pytest.mark.parametrize("scenario", BENCH_SCENARIOS)

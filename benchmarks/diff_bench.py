@@ -7,9 +7,11 @@ successful run's artifact and invokes this script::
     python benchmarks/diff_bench.py PREV.json CURRENT.json --threshold 0.15
 
 For every benchmark present in both runs the script compares a
-*throughput* metric — ``extra_info.events_per_second`` where the bench
-reports one (the simulator throughput benches), the reciprocal of the
-mean wall time otherwise (sizing and kernel benches) — and emits a
+*throughput* metric — ``extra_info.replications_per_second`` where the
+bench reports one (the mega-batch replication benches), else
+``extra_info.events_per_second`` (the simulator throughput benches),
+else the reciprocal of the mean wall time (sizing and kernel
+benches) — and emits a
 GitHub warning annotation (``::warning::``) for each benchmark whose
 throughput dropped by more than the threshold.  Warnings never fail the
 job (``--strict`` turns them into a non-zero exit for local gating):
@@ -52,15 +54,17 @@ class Regression:
 def throughput_of(bench: dict) -> Optional[tuple]:
     """``(metric_name, value)`` for one benchmark entry, higher = better.
 
-    Benches that report ``events_per_second`` compare on it directly;
-    everything else falls back to ``1 / stats.mean``.  Returns ``None``
-    for malformed entries (no usable timing) so a partially written JSON
-    never crashes the diff.
+    Benches that report ``replications_per_second`` compare on it
+    directly (it is the mega-batch acceptance metric), then
+    ``events_per_second``; everything else falls back to
+    ``1 / stats.mean``.  Returns ``None`` for malformed entries (no
+    usable timing) so a partially written JSON never crashes the diff.
     """
     extra = bench.get("extra_info") or {}
-    eps = extra.get("events_per_second")
-    if isinstance(eps, (int, float)) and eps > 0:
-        return "events_per_second", float(eps)
+    for metric in ("replications_per_second", "events_per_second"):
+        value = extra.get(metric)
+        if isinstance(value, (int, float)) and value > 0:
+            return metric, float(value)
     mean = (bench.get("stats") or {}).get("mean")
     if isinstance(mean, (int, float)) and mean > 0:
         return "1/mean", 1.0 / float(mean)

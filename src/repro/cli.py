@@ -153,13 +153,21 @@ def _add_runtime_flags(
     )
     parser.add_argument(
         "--sim-backend",
-        choices=("heap", "batched"),
+        choices=("heap", "batched", "megabatch"),
         default="batched",
         help="simulation engine for replication batches: 'batched' "
         "(default) is the array-native lane, 'heap' the reference "
-        "event loop (bitwise-identical fixed-seed metrics for "
-        "deterministic arbiters, statistically equivalent for "
-        "randomised ones)",
+        "event loop, 'megabatch' the replication-stacked kernel "
+        "(one array program per cell; bitwise-identical fixed-seed "
+        "metrics for deterministic arbiters, statistically "
+        "equivalent for randomised ones)",
+    )
+    parser.add_argument(
+        "--sim-jit",
+        action="store_true",
+        help="prefer the numba-jitted mega-batch kernel when numba is "
+        "importable (sets REPRO_SIM_JIT=1; falls back to the C or "
+        "numpy engine otherwise — never changes any number)",
     )
     parser.add_argument(
         "--dist",
@@ -833,8 +841,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed-scheme", choices=("legacy", "spawn"), default="legacy"
     )
     p_run.add_argument(
-        "--sim-backend", choices=("heap", "batched"), default="batched"
+        "--sim-backend",
+        choices=("heap", "batched", "megabatch"),
+        default="batched",
     )
+    p_run.add_argument("--sim-jit", action="store_true")
     p_run.add_argument(
         "--block-reps", type=int, default=1,
         help="replications per job block (smaller = more stealable "
@@ -921,8 +932,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--duration", type=float, default=60.0)
     p_chaos.add_argument("--seed", type=int, default=0)
     p_chaos.add_argument(
-        "--sim-backend", choices=("heap", "batched"), default="batched"
+        "--sim-backend",
+        choices=("heap", "batched", "megabatch"),
+        default="batched",
     )
+    p_chaos.add_argument("--sim-jit", action="store_true")
     p_chaos.add_argument("--block-reps", type=int, default=1)
     p_chaos.add_argument(
         "--fault", action="append", default=None, metavar="PLAN",
@@ -991,6 +1005,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sim_jit", False):
+        os.environ["REPRO_SIM_JIT"] = "1"
     trace_path = _apply_obs_args(args)
     try:
         return args.func(args)

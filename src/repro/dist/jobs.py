@@ -128,7 +128,11 @@ def run_block(payload: Dict[str, Any]) -> BlockOutcome:
     publishes it and every other block reuses it); for local runs,
     ``run_matrix`` installs a run-scoped :class:`ProcessMemo` instead.
     """
-    from repro.sim.runner import replication_seeds, simulate
+    from repro.sim.runner import (
+        replication_seeds,
+        simulate,
+        simulate_block,
+    )
 
     spec = scenarios.get(payload["scenario"])
     topology = spec.topology()
@@ -146,16 +150,31 @@ def run_block(payload: Dict[str, Any]) -> BlockOutcome:
         payload["base_seed"],
         payload["seed_scheme"],
     )
-    results = [
-        simulate(
+    if payload["sim_backend"] == "megabatch":
+        # One kernel cell per block: every replication of the slice
+        # advances in lockstep.  Per-replication streams are derived
+        # from the global seed list, so the block results are bitwise
+        # the per-seed batched runs the serial path would produce.
+        results = simulate_block(
             topology,
             capacities,
             duration=payload["duration"],
-            seed=seeds[r],
-            backend=payload["sim_backend"],
+            seeds=[
+                seeds[r]
+                for r in range(payload["start"], payload["stop"])
+            ],
         )
-        for r in range(payload["start"], payload["stop"])
-    ]
+    else:
+        results = [
+            simulate(
+                topology,
+                capacities,
+                duration=payload["duration"],
+                seed=seeds[r],
+                backend=payload["sim_backend"],
+            )
+            for r in range(payload["start"], payload["stop"])
+        ]
     return BlockOutcome(
         scenario=spec.name,
         budget=int(payload["budget"]),

@@ -26,13 +26,36 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import obs
 from repro.errors import SimulationError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def partition_blocks(total: int, blocks: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``[lo, hi)`` spans covering ``range(total)``.
+
+    The mega-batch replication dispatch partitions a cell's seed list
+    into per-worker blocks with this: spans are contiguous and in
+    order, sizes differ by at most one, and concatenating the spans
+    reproduces ``range(total)`` exactly — so any block decomposition
+    merges back into the same replication order.  ``blocks`` is clamped
+    to ``[1, total]``.
+    """
+    if total < 1:
+        raise SimulationError(f"total must be >= 1, got {total}")
+    blocks = max(1, min(int(blocks), total))
+    base, extra = divmod(total, blocks)
+    spans: List[Tuple[int, int]] = []
+    lo = 0
+    for k in range(blocks):
+        hi = lo + base + (1 if k < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

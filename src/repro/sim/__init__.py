@@ -9,13 +9,18 @@ that exceed the timeout threshold under the timeout policy — are lost.
 Public surface:
 
 * :func:`repro.sim.runner.simulate` — run one topology + allocation
-  (``backend="heap"`` reference loop or ``backend="batched"`` array
-  lane; see :data:`repro.sim.runner.SIM_BACKENDS`).
+  (``backend="heap"`` reference loop, ``backend="batched"`` array
+  lane, or ``backend="megabatch"`` replication-stacked kernel; see
+  :data:`repro.sim.runner.SIM_BACKENDS`).
+* :func:`repro.sim.runner.simulate_block` — one mega-batch kernel cell:
+  many seeds of the same configuration in a single array program.
 * :func:`repro.sim.runner.replicate` — n seeds, aggregated statistics.
 * :class:`repro.sim.runner.SimulationResult` — per-processor losses etc.
 * Arbiters in :mod:`repro.sim.arbiter`.
 * :class:`repro.sim.batched.BatchedSystem` — the array-native lane
   itself, for callers that drive windows manually.
+* :class:`repro.sim.megabatch.MegaBatchLane` — the replication-stacked
+  lane, for callers that drive windows manually.
 """
 
 from repro.sim.arbiter import (
@@ -28,12 +33,14 @@ from repro.sim.arbiter import (
 )
 from repro.sim.batched import BatchedSystem
 from repro.sim.engine import BatchedSimulator, Simulator
+from repro.sim.megabatch import MegaBatchLane, megabatch_supported
 from repro.sim.runner import (
     SIM_BACKENDS,
     ReplicationSummary,
     SimulationResult,
     replicate,
     simulate,
+    simulate_block,
 )
 from repro.sim.system import CommunicationSystem, client_name_for_bridge
 
@@ -44,6 +51,7 @@ __all__ = [
     "CommunicationSystem",
     "FixedPriorityArbiter",
     "LongestQueueArbiter",
+    "MegaBatchLane",
     "ReplicationSummary",
     "RoundRobinArbiter",
     "SIM_BACKENDS",
@@ -52,6 +60,8 @@ __all__ = [
     "WeightedRandomArbiter",
     "client_name_for_bridge",
     "make_arbiter",
+    "megabatch_supported",
     "replicate",
     "simulate",
+    "simulate_block",
 ]

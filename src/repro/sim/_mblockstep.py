@@ -1,0 +1,328 @@
+"""Pure-numpy lockstep engine for the mega-batch lane.
+
+The dependency-free fallback of the three mega-batch engines (numba >
+C > numpy): instead of draining one replication at a time, every
+super-step selects **one event per live replication** with vectorised
+``(time, seq)`` argmin over the ``(R, S + B)`` calendar and dispatches
+all of them with gather/scatter index arrays — arrivals, completions,
+and a vectorised arbitration/timeout-retry grant round.  All scatters
+index distinct replications (one event per row per step), so plain
+fancy-indexed assignment is exact; no ``np.add.at`` is needed.
+
+Bitwise contract: per replication the event order and every float
+operation (``now + gap``, ``variate * scale``, accumulator adds) are
+identical to the scalar kernel — vectorisation only batches *across*
+replications, which never interact.  The engine cross-equality tests
+hold this engine to bit-equality with the interpreted kernel.
+
+Replications that need a buffer refill are flagged in ``paused`` and
+dropped from the lockstep; the lane refills and re-enters, exactly as
+for the scalar engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.arbiter import ARB_FIXED, ARB_ROUND_ROBIN
+from repro.sim._mbkernel import SEQ_SENTINEL
+
+
+def _grant(lane, rr, bb, tt):
+    """Vectorised grant round: one call per (replication, bus) request.
+
+    Mirrors the scalar ``_grant``: arbitrate on occupancy counts,
+    timeout-drop stale heads (those rows loop), then start one
+    transaction each with the pre-drawn service variate.  ``rr`` holds
+    distinct replications, so every scatter hits unique elements.
+    """
+    if rr.size == 0:
+        return
+    cnt = lane.cnt
+    head = lane.head
+    cap = lane.cap
+    slot_off = lane.slot_off
+    senq = lane.senq
+    sflow = lane.sflow
+    sscale = lane.sscale
+    ev_time = lane.ev_time
+    ev_seq = lane.ev_seq
+    next_id = lane.next_id
+    rr_last = lane.rr_last
+    busy = lane.busy
+    granted = lane.granted
+    svc = lane.svc
+    svc_idx = lane.svc_idx
+    flow_src = lane.flow_src
+    timed_out = lane.timed_out
+    lost = lane.lost
+    wait_sum = lane.wait_sum
+    wait_cnt = lane.wait_cnt
+    S = lane.S
+    kind = lane.arb_tag
+    timeout = lane.timeout
+    lo_all = lane.cl_off[:-1]
+    width = lane.cl_width
+    cols = lane._cols  # (1, Cmax) arange, preallocated
+
+    while rr.size:
+        lo = lo_all[bb]
+        ncl = width[bb]
+        if kind == ARB_ROUND_ROBIN:
+            # Rotated occupancy scan starting after each cursor; wrap
+            # duplicates beyond ncl can only repeat already-seen zeros.
+            rot = (rr_last[rr, bb][:, None] + 1 + cols) % ncl[:, None]
+            vals = cnt[rr[:, None], lo[:, None] + rot]
+            nz = vals > 0
+            none = ~nz.any(axis=1)
+            i = rot[np.arange(rr.size), nz.argmax(axis=1)]
+        else:
+            idx = lo[:, None] + np.minimum(cols, (ncl - 1)[:, None])
+            vals = np.where(cols < ncl[:, None], cnt[rr[:, None], idx], 0)
+            if kind == ARB_FIXED:
+                nz = vals > 0
+                none = ~nz.any(axis=1)
+                i = nz.argmax(axis=1)
+            else:  # longest queue: first max, None when all empty
+                i = vals.argmax(axis=1)
+                none = vals[np.arange(rr.size), i] == 0
+        keep = ~none
+        if not keep.all():
+            rr, bb, tt, lo, i = rr[keep], bb[keep], tt[keep], lo[keep], i[keep]
+            if rr.size == 0:
+                return
+        if kind == ARB_ROUND_ROBIN:
+            # Cursor moves at selection time, before any timeout drop —
+            # the reference arbiter's exact behaviour.
+            rr_last[rr, bb] = i
+        g = lo + i
+        h = head[rr, g]
+        si = slot_off[g] + h
+        enq = senq[rr, si]
+        if timeout >= 0.0:
+            stale = tt - enq > timeout
+        else:
+            stale = np.zeros(rr.size, dtype=bool)
+        commit = ~stale
+        if commit.any():
+            rrc = rr[commit]
+            bbc = bb[commit]
+            ttc = tt[commit]
+            sic = si[commit]
+            wait_sum[rrc] += ttc - enq[commit]
+            wait_cnt[rrc] += 1
+            busy[rrc, bbc] = 1
+            granted[rrc, bbc] = g[commit]
+            sv = svc_idx[rrc, bbc]
+            duration = svc[rrc, bbc, sv] * sscale[rrc, sic]
+            svc_idx[rrc, bbc] = sv + 1
+            ev_time[rrc, S + bbc] = ttc + duration
+            ev_seq[rrc, S + bbc] = next_id[rrc]
+            next_id[rrc] += 1
+        if not stale.any():
+            return
+        # Timeout-drop the stale heads, then those rows arbitrate again
+        # (the bus stays free at this instant, exactly like the scalar
+        # retry loop; each iteration pops one packet, so it terminates).
+        rrs = rr[stale]
+        gs = g[stale]
+        hs = h[stale]
+        fs = sflow[rrs, si[stale]]
+        nh = hs + 1
+        head[rrs, gs] = np.where(nh == cap[gs], 0, nh)
+        cnt[rrs, gs] -= 1
+        srcs = flow_src[fs]
+        timed_out[rrs, srcs] += 1
+        lost[rrs, srcs] += 1
+        rr, bb, tt = rrs, bb[stale], tt[stale]
+
+
+def advance(lane, end_time):
+    """One kernel invocation: lockstep-drain all replications.
+
+    Returns the number of replications paused for a refill (their
+    ``lane.paused`` flags are set); zero means every replication's
+    calendar is drained past ``end_time``.
+    """
+    ev_time = lane.ev_time
+    ev_seq = lane.ev_seq
+    next_id = lane.next_id
+    head = lane.head
+    cnt = lane.cnt
+    busy = lane.busy
+    granted = lane.granted
+    cap = lane.cap
+    slot_off = lane.slot_off
+    ring_bus = lane.ring_bus
+    flow_src = lane.flow_src
+    flow_last = lane.flow_last
+    flow_ring = lane.flow_ring
+    flow_scale = lane.flow_scale
+    first_bus = lane.first_bus
+    sflow = lane.sflow
+    shop = lane.shop
+    screa = lane.screa
+    senq = lane.senq
+    sscale = lane.sscale
+    svc_idx = lane.svc_idx
+    gaps = lane.gaps
+    gap_idx = lane.gap_idx
+    gap_len = lane.gap_len
+    offered = lane.offered
+    lost = lane.lost
+    delivered = lane.delivered
+    e2e_sum = lane.e2e_sum
+    paused = lane.paused
+    S = lane.S
+    D = lane.svc_depth
+
+    act = np.arange(lane.R)
+    npaused = 0
+    while act.size:
+        # ---- select one (time, seq)-minimal event per live row ------
+        evt = ev_time[act]
+        t = evt.min(axis=1)
+        live = t <= end_time
+        if not live.all():
+            act = act[live]
+            if act.size == 0:
+                break
+            evt = evt[live]
+            t = t[live]
+        sel = np.where(
+            evt == t[:, None], ev_seq[act], SEQ_SENTINEL
+        ).argmin(axis=1)
+        rows = act
+        is_arr = sel < S
+        drop = np.zeros(rows.size, dtype=bool)
+
+        # ---- refill pre-checks (conservative, like the scalar kernel)
+        ra = rows[is_arr]
+        sa = sel[is_arr]
+        ta = t[is_arr]
+        if ra.size:
+            pa = (gap_idx[ra, sa] >= gap_len[ra, sa]) | (
+                svc_idx[ra, first_bus[sa]] >= D
+            )
+            if pa.any():
+                paused[ra[pa]] = 1
+                npaused += int(pa.sum())
+                drop[np.flatnonzero(is_arr)[pa]] = True
+                keep = ~pa
+                ra, sa, ta = ra[keep], sa[keep], ta[keep]
+        rc = rows[~is_arr]
+        bc = sel[~is_arr] - S
+        tc = t[~is_arr]
+        if rc.size:
+            gC = granted[rc, bc]
+            hC = head[rc, gC]
+            siC = slot_off[gC] + hC
+            fC = sflow[rc, siC]
+            hpC = shop[rc, siC]
+            advm = hpC != flow_last[fC]
+            nxt = np.where(advm, hpC + 1, hpC)  # clamped: pad-safe
+            b2C = ring_bus[flow_ring[fC, nxt]]
+            pc = (svc_idx[rc, bc] >= D) | (advm & (svc_idx[rc, b2C] >= D))
+            if pc.any():
+                paused[rc[pc]] = 1
+                npaused += int(pc.sum())
+                drop[np.flatnonzero(~is_arr)[pc]] = True
+                keep = ~pc
+                rc, bc, tc = rc[keep], bc[keep], tc[keep]
+                gC, hC, siC = gC[keep], hC[keep], siC[keep]
+                fC, hpC, advm = fC[keep], hpC[keep], advm[keep]
+        if drop.any():
+            act = rows[~drop]
+
+        # ---- arrivals ----------------------------------------------
+        if ra.size:
+            srcA = flow_src[sa]
+            offered[ra, srcA] += 1
+            gA = flow_ring[sa, 0]
+            capA = cap[gA]
+            nA = cnt[ra, gA]
+            fullA = nA == capA
+            if fullA.any():
+                lost[ra[fullA], srcA[fullA]] += 1
+            accA = ~fullA
+            if accA.any():
+                raa = ra[accA]
+                saa = sa[accA]
+                taa = ta[accA]
+                ga = gA[accA]
+                na = nA[accA]
+                ca = capA[accA]
+                pos = head[raa, ga] + na
+                pos = np.where(pos >= ca, pos - ca, pos)
+                sia = slot_off[ga] + pos
+                sflow[raa, sia] = saa
+                shop[raa, sia] = 0
+                screa[raa, sia] = taa
+                senq[raa, sia] = taa
+                sscale[raa, sia] = flow_scale[saa, 0]
+                cnt[raa, ga] = na + 1
+                ba = first_bus[saa]
+                free = busy[raa, ba] == 0
+                if free.any():
+                    _grant(lane, raa[free], ba[free], taa[free])
+            # Next arrival after any grant it caused (sequence parity).
+            gi = gap_idx[ra, sa]
+            ev_time[ra, sa] = ta + gaps[ra, sa, gi]
+            ev_seq[ra, sa] = next_id[ra]
+            next_id[ra] += 1
+            gap_idx[ra, sa] = gi + 1
+
+        # ---- completions -------------------------------------------
+        if rc.size:
+            createdC = screa[rc, siC]
+            nh = hC + 1
+            head[rc, gC] = np.where(nh == cap[gC], 0, nh)
+            cnt[rc, gC] -= 1
+            busy[rc, bc] = 0
+            ev_time[rc, S + bc] = np.inf
+            ev_seq[rc, S + bc] = SEQ_SENTINEL
+            lastm = ~advm
+            if lastm.any():
+                rl = rc[lastm]
+                delivered[rl, flow_src[fC[lastm]]] += 1
+                e2e_sum[rl] += tc[lastm] - createdC[lastm]
+            if advm.any():
+                rm = rc[advm]
+                fm = fC[advm]
+                hm = hpC[advm] + 1
+                tm = tc[advm]
+                crm = createdC[advm]
+                g2 = flow_ring[fm, hm]
+                c2 = cap[g2]
+                n2 = cnt[rm, g2]
+                full2 = n2 == c2
+                if full2.any():
+                    lost[rm[full2], flow_src[fm[full2]]] += 1
+                acc2 = ~full2
+                if acc2.any():
+                    rma = rm[acc2]
+                    fma = fm[acc2]
+                    hma = hm[acc2]
+                    tma = tm[acc2]
+                    g2a = g2[acc2]
+                    n2a = n2[acc2]
+                    c2a = c2[acc2]
+                    pos2 = head[rma, g2a] + n2a
+                    pos2 = np.where(pos2 >= c2a, pos2 - c2a, pos2)
+                    si2 = slot_off[g2a] + pos2
+                    sflow[rma, si2] = fma
+                    shop[rma, si2] = hma
+                    screa[rma, si2] = crm[acc2]
+                    senq[rma, si2] = tma
+                    sscale[rma, si2] = flow_scale[fma, hma]
+                    cnt[rma, g2a] = n2a + 1
+                    b2a = ring_bus[g2a]
+                    free2 = busy[rma, b2a] == 0
+                    if free2.any():
+                        _grant(lane, rma[free2], b2a[free2], tma[free2])
+            # Re-arbitrate the freed bus (it may have been re-taken by
+            # a same-bus routed grant above — skip those rows).
+            freeC = busy[rc, bc] == 0
+            if freeC.any():
+                _grant(lane, rc[freeC], bc[freeC], tc[freeC])
+    return npaused

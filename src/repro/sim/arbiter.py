@@ -189,6 +189,32 @@ _ARBITERS = {
     "longest_queue": LongestQueueArbiter,
 }
 
+#: Inline-dispatch tags for the array lanes (batched and megabatch).
+#: The three built-in deterministic policies have branch-free inlined
+#: copies in the kernels; everything else — randomised or user-defined —
+#: is ``ARB_GENERIC`` and goes through :meth:`Arbiter.grant_counts`.
+ARB_FIXED, ARB_ROUND_ROBIN, ARB_LONGEST, ARB_GENERIC = 0, 1, 2, 3
+
+#: Arbiter kinds the mega-batch kernel can run natively (deterministic,
+#: no generator access, total event order — the bitwise contract).
+KERNEL_ARBITERS = ("fixed_priority", "round_robin", "longest_queue")
+
+
+def kernel_tag(arbiter: Arbiter) -> int:
+    """The inline-dispatch tag of one arbiter *instance*.
+
+    Exact-type matching on purpose: a subclass may override behaviour,
+    so it must take the generic (method-dispatch) path even though it
+    would pass an ``isinstance`` check.
+    """
+    if type(arbiter) is FixedPriorityArbiter:
+        return ARB_FIXED
+    if type(arbiter) is RoundRobinArbiter:
+        return ARB_ROUND_ROBIN
+    if type(arbiter) is LongestQueueArbiter:
+        return ARB_LONGEST
+    return ARB_GENERIC
+
 
 def make_arbiter(kind: str = "longest_queue", **kwargs) -> Arbiter:
     """Factory from a string name (used by runner/experiment configs).

@@ -56,9 +56,11 @@ from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.arbiter import (
-    FixedPriorityArbiter,
-    LongestQueueArbiter,
-    RoundRobinArbiter,
+    ARB_FIXED,
+    ARB_GENERIC,
+    ARB_LONGEST,
+    ARB_ROUND_ROBIN,
+    kernel_tag,
 )
 from repro.sim.buffer import PacketRing
 from repro.sim.bus import ClusterState
@@ -71,8 +73,14 @@ from repro.sim.system import CommunicationSystem
 SERVICE_BLOCK = 512
 
 # Inline-dispatch tags for the built-in deterministic arbiters; anything
-# else goes through the generic grant_counts call.
-_FIXED, _ROUND_ROBIN, _LONGEST, _GENERIC = 0, 1, 2, 3
+# else goes through the generic grant_counts call.  Shared with the
+# mega-batch kernel so both lanes agree on the encoding.
+_FIXED, _ROUND_ROBIN, _LONGEST, _GENERIC = (
+    ARB_FIXED,
+    ARB_ROUND_ROBIN,
+    ARB_LONGEST,
+    ARB_GENERIC,
+)
 
 
 class BatchedSystem:
@@ -134,13 +142,7 @@ class BatchedSystem:
         self._cl_rings = [cs.ring_ids for cs in self.clusters]
         self._cl_names = [cs.names for cs in self.clusters]
         self._arbiters = [cs.arbiter for cs in self.clusters]
-        self._arb_kind = [
-            _FIXED if type(cs.arbiter) is FixedPriorityArbiter
-            else _ROUND_ROBIN if type(cs.arbiter) is RoundRobinArbiter
-            else _LONGEST if type(cs.arbiter) is LongestQueueArbiter
-            else _GENERIC
-            for cs in self.clusters
-        ]
+        self._arb_kind = [kernel_tag(cs.arbiter) for cs in self.clusters]
         self._cl_rng = [cs.rng for cs in self.clusters]
         self._cl_pool = [cs.pool for cs in self.clusters]
         self._busy = [False] * len(self.clusters)

@@ -7,14 +7,14 @@ is that loop, with independent seeds and mean/confidence aggregation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.arch.topology import Topology
 from repro.errors import SimulationError
-from repro.exec.pool import parallel_map
+from repro.exec.pool import parallel_map, partition_blocks, resolve_jobs
 from repro.sim.system import CommunicationSystem
 
 
@@ -63,8 +63,13 @@ class SimulationResult:
 #: reference engine (one callback per event); ``"batched"`` is the
 #: array-native lane of :mod:`repro.sim.batched`, which produces
 #: bitwise-identical fixed-seed metrics for deterministic arbiters and
-#: statistically equivalent ones under randomised arbitration.
-SIM_BACKENDS = ("heap", "batched")
+#: statistically equivalent ones under randomised arbitration;
+#: ``"megabatch"`` is the replication-stacked kernel of
+#: :mod:`repro.sim.megabatch` — one array program advances every
+#: replication of a cell at once, with the same bitwise fixed-seed
+#: contract as ``"batched"`` (configurations the kernel cannot replay
+#: exactly fall back to per-replication batched runs).
+SIM_BACKENDS = ("heap", "batched", "megabatch")
 
 
 def simulate(
@@ -96,6 +101,17 @@ def simulate(
             f"unknown simulation backend {backend!r}; "
             f"choose from {SIM_BACKENDS}"
         )
+    if backend == "megabatch":
+        return simulate_block(
+            topology,
+            capacities,
+            duration=duration,
+            seeds=[seed],
+            arbiter_kind=arbiter_kind,
+            arbiter_weights=arbiter_weights,
+            timeout_threshold=timeout_threshold,
+            warmup=warmup,
+        )[0]
     system = CommunicationSystem(
         topology,
         capacities,
@@ -161,6 +177,104 @@ def simulate(
         mean_waiting_time=monitor.mean_waiting_time(),
         mean_end_to_end=monitor.mean_end_to_end(),
     )
+
+
+def simulate_block(
+    topology: Topology,
+    capacities: Dict[str, int],
+    duration: float = 10_000.0,
+    seeds: Sequence[int] = (0,),
+    arbiter_kind: str = "longest_queue",
+    arbiter_weights: Optional[Dict[str, float]] = None,
+    timeout_threshold: Optional[float] = None,
+    warmup: float = 0.0,
+    engine: Optional[str] = None,
+) -> List[SimulationResult]:
+    """Run one simulation per seed through the mega-batch kernel.
+
+    All seeds share one cell (same topology, capacities, arbiter and
+    timeout); one :class:`~repro.sim.megabatch.MegaBatchLane` advances
+    every replication per kernel invocation.  Results are returned in
+    seed order and are bitwise identical to running
+    ``simulate(..., backend="batched")`` per seed — configurations the
+    kernel cannot replay exactly (randomised arbiters, stateful traffic
+    descriptors) take exactly that per-seed path as a fallback, so the
+    equality is universal.  ``engine`` forces a kernel engine (see
+    :func:`repro.sim.megabatch.resolve_engine`).
+    """
+    if warmup < 0:
+        raise SimulationError(f"warmup must be >= 0, got {warmup}")
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        raise SimulationError("simulate_block needs at least one seed")
+    from repro.sim.megabatch import MegaBatchLane, megabatch_supported
+
+    if not megabatch_supported(topology, arbiter_kind):
+        return [
+            simulate(
+                topology,
+                capacities,
+                duration=duration,
+                seed=s,
+                arbiter_kind=arbiter_kind,
+                arbiter_weights=arbiter_weights,
+                timeout_threshold=timeout_threshold,
+                warmup=warmup,
+                backend="batched",
+            )
+            for s in seed_list
+        ]
+    lane = MegaBatchLane(
+        topology,
+        capacities,
+        seed_list,
+        arbiter_kind=arbiter_kind,
+        arbiter_weights=arbiter_weights,
+        timeout_threshold=timeout_threshold,
+        engine=engine,
+    )
+    lane.start()
+    base_offered = base_lost = base_timeout = base_delivered = None
+    if warmup > 0:
+        with obs.span("sim.window") as span:
+            span.set("backend", "megabatch")
+            span.set("phase", "warmup")
+            lane.run_until(warmup)
+        base_offered = lane.offered.copy()
+        base_lost = lane.lost.copy()
+        base_timeout = lane.timed_out.copy()
+        base_delivered = lane.delivered.copy()
+    with obs.span("sim.window") as span:
+        span.set("backend", "megabatch")
+        span.set("phase", "measure")
+        lane.run_until(warmup + duration)
+    obs.counter("sim.windows").inc()
+    index = {name: i for i, name in enumerate(lane.proc_names)}
+    results: List[SimulationResult] = []
+    for r in range(lane.R):
+        monitor = lane.monitor_for(r)
+
+        def window(counts, baseline):
+            return {
+                p: int(counts[r, index[p]])
+                - (int(baseline[r, index[p]]) if baseline is not None else 0)
+                for p in topology.processors
+            }
+
+        results.append(
+            SimulationResult(
+                duration=duration,
+                offered=window(lane.offered, base_offered),
+                lost=window(lane.lost, base_lost),
+                timed_out=window(lane.timed_out, base_timeout),
+                delivered=window(lane.delivered, base_delivered),
+                # Means are cumulative (warmup included), matching
+                # simulate()'s monitor-level means on every backend.
+                mean_waiting_time=monitor.mean_waiting_time(),
+                mean_end_to_end=monitor.mean_end_to_end(),
+            )
+        )
+    return results
 
 
 @dataclass
@@ -249,6 +363,22 @@ def _simulate_job(
     )
 
 
+def _simulate_block_job(
+    job: Tuple[Topology, Dict[str, int], float, List[int], dict]
+) -> List[SimulationResult]:
+    """Pool worker: one mega-batch block (pure in its arguments)."""
+    topology, capacities, duration, seeds, kwargs = job
+    return simulate_block(
+        topology, capacities, duration=duration, seeds=seeds, **kwargs
+    )
+
+
+#: Replications per mega-batch block on a distributed executor: small
+#: enough that a fleet with more workers than blocks still load-balances
+#: through work stealing, large enough to amortise one kernel per block.
+MEGABATCH_DIST_BLOCK = 8
+
+
 def replicate(
     topology: Topology,
     capacities: Dict[str, int],
@@ -275,6 +405,43 @@ def replicate(
     — pass through to :func:`simulate`.
     """
     seeds = replication_seeds(replications, base_seed, seed_scheme)
+    if kwargs.get("backend") == "megabatch":
+        # Block dispatch: partition the seed list into contiguous
+        # blocks — one mega-batch kernel cell per worker — and flatten
+        # the per-block result lists back in replication order.  The
+        # per-replication streams are independent, so every partition
+        # (serial, jobs=N, distributed) merges bitwise-identically.
+        sim_kwargs = {k: v for k, v in kwargs.items() if k != "backend"}
+        if executor is not None:
+            nblocks = -(-replications // MEGABATCH_DIST_BLOCK)
+        else:
+            nblocks = min(resolve_jobs(jobs), replications)
+        spans = partition_blocks(replications, nblocks)
+        block_jobs = [
+            (topology, capacities, duration, seeds[lo:hi], sim_kwargs)
+            for lo, hi in spans
+        ]
+        block_on_result = None
+        if on_result is not None:
+            starts = [lo for lo, _ in spans]
+
+            def block_on_result(block_index, block):
+                # Explode block results into per-replication progress
+                # events; blocks complete in submission order, so the
+                # global indices fire in replication order.
+                for offset, result in enumerate(block):
+                    on_result(starts[block_index] + offset, result)
+
+        blocks = parallel_map(
+            _simulate_block_job,
+            block_jobs,
+            jobs=jobs,
+            executor=executor,
+            on_result=block_on_result,
+        )
+        return ReplicationSummary(
+            [result for block in blocks for result in block]
+        )
     results = parallel_map(
         _simulate_job,
         [(topology, capacities, duration, seed, kwargs) for seed in seeds],

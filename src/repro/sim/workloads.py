@@ -106,6 +106,13 @@ class TraceTraffic(TrafficDescriptor):
     kept for interface compatibility.
     """
 
+    #: The replay cursor lives on the descriptor, not the generator, so
+    #: sampling is stateful: replications sharing this object consume
+    #: one global gap sequence in call order.  The mega-batch lane must
+    #: therefore fall back to sequential per-replication runs (see
+    #: :attr:`TrafficDescriptor.stateless_sampling`).
+    stateless_sampling = False
+
     def __init__(self, gaps: Sequence[float]) -> None:
         arr = np.asarray(list(gaps), dtype=float)
         if arr.size == 0:

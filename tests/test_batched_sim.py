@@ -220,7 +220,7 @@ class TestBackendValidation:
             simulate(fig1, fig1_caps, duration=10.0, backend="quantum")
 
     def test_backends_registry(self):
-        assert SIM_BACKENDS == ("heap", "batched")
+        assert SIM_BACKENDS == ("heap", "batched", "megabatch")
 
     def test_lane_rejects_started_system(self, fig1, fig1_caps):
         system = CommunicationSystem(fig1, fig1_caps)

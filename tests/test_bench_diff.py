@@ -7,12 +7,14 @@ import pytest
 from benchmarks.diff_bench import find_regressions, main, throughput_of
 
 
-def _bench(name, mean=None, eps=None):
+def _bench(name, mean=None, eps=None, rps=None):
     entry = {"fullname": name, "stats": {}, "extra_info": {}}
     if mean is not None:
         entry["stats"]["mean"] = mean
     if eps is not None:
         entry["extra_info"]["events_per_second"] = eps
+    if rps is not None:
+        entry["extra_info"]["replications_per_second"] = rps
     return entry
 
 
@@ -25,6 +27,13 @@ class TestThroughputOf:
         assert throughput_of(_bench("a", mean=2.0, eps=1000)) == (
             "events_per_second", 1000.0,
         )
+
+    def test_prefers_replications_per_second_over_both(self):
+        # The mega-batch replication benches report both rates; the
+        # acceptance metric (replications/s) wins.
+        assert throughput_of(
+            _bench("a", mean=2.0, eps=1000, rps=7.5)
+        ) == ("replications_per_second", 7.5)
 
     def test_falls_back_to_reciprocal_mean(self):
         metric, value = throughput_of(_bench("a", mean=0.5))
@@ -45,6 +54,14 @@ class TestFindRegressions:
         assert found[0].metric == "events_per_second"
         assert found[0].drop == pytest.approx(0.2)
         assert "::warning" in found[0].annotation()
+
+    def test_flags_replications_per_second_drop(self):
+        name = "bench_sim_throughput.py::test_replication_throughput[megabatch-32]"
+        prev = _report(_bench(name, eps=900_000, rps=10.0, mean=3.2))
+        curr = _report(_bench(name, eps=900_000, rps=6.0, mean=3.2))
+        found = find_regressions(prev, curr, threshold=0.15)
+        assert [r.name for r in found] == [name]
+        assert found[0].metric == "replications_per_second"
 
     def test_within_threshold_is_quiet(self):
         prev = _report(_bench("sim", eps=1000))
