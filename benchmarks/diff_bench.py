@@ -10,8 +10,9 @@ For every benchmark present in both runs the script compares a
 *throughput* metric — ``extra_info.replications_per_second`` where the
 bench reports one (the mega-batch replication benches), else
 ``extra_info.events_per_second`` (the simulator throughput benches),
-else the reciprocal of the mean wall time (sizing and kernel
-benches) — and emits a
+else ``extra_info.jobs_per_second`` (the distributed transport and
+makespan benches), else the reciprocal of the mean wall time (sizing
+and kernel benches) — and emits a
 GitHub warning annotation (``::warning::``) for each benchmark whose
 throughput dropped by more than the threshold.  Warnings never fail the
 job (``--strict`` turns them into a non-zero exit for local gating):
@@ -56,12 +57,19 @@ def throughput_of(bench: dict) -> Optional[tuple]:
 
     Benches that report ``replications_per_second`` compare on it
     directly (it is the mega-batch acceptance metric), then
-    ``events_per_second``; everything else falls back to
-    ``1 / stats.mean``.  Returns ``None`` for malformed entries (no
-    usable timing) so a partially written JSON never crashes the diff.
+    ``events_per_second``, then ``jobs_per_second`` (the distributed
+    overhead/makespan benches — for the makespan rows this is
+    equivalent to comparing ``1 / makespan_seconds``); everything else
+    falls back to ``1 / stats.mean``.  Returns ``None`` for malformed
+    entries (no usable timing) so a partially written JSON never
+    crashes the diff.
     """
     extra = bench.get("extra_info") or {}
-    for metric in ("replications_per_second", "events_per_second"):
+    for metric in (
+        "replications_per_second",
+        "events_per_second",
+        "jobs_per_second",
+    ):
         value = extra.get(metric)
         if isinstance(value, (int, float)) and value > 0:
             return metric, float(value)

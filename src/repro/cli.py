@@ -117,6 +117,7 @@ def _context_from_args(
         cache_max_mb=getattr(args, "cache_max_mb", None),
         dist=getattr(args, "dist", None),
         dist_authkey=getattr(args, "authkey", None),
+        dist_schedule=getattr(args, "schedule", None),
         progress=(
             _progress_printer()
             if getattr(args, "progress", False)
@@ -182,6 +183,15 @@ def _add_runtime_flags(
         default=None,
         help="shared fleet secret for --dist (must match 'repro dist "
         "serve'; default: the fleet default)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("fifo", "cost"),
+        default=None,
+        help="fleet dispatch policy for --dist: 'cost' = cost-model "
+        "longest-predicted-first with sized leases, 'fifo' = arrival "
+        "order (default: the broker's own policy); cannot change any "
+        "result",
     )
     parser.add_argument(
         "--progress",
@@ -391,12 +401,18 @@ def _cmd_dist_serve(args: argparse.Namespace) -> int:
     """Run the broker (work-stealing queue + shared cache store)."""
     from repro.dist import BrokerServer
 
+    server_kwargs = {}
+    if args.lease_target is not None:
+        server_kwargs["lease_target"] = args.lease_target
     server = BrokerServer(
         host=args.host,
         port=args.port,
         authkey=args.authkey.encode("utf-8"),
         lease_timeout=args.lease_timeout,
         cache_max_bytes=int(args.cache_max_mb * 1024 * 1024),
+        schedule=args.schedule,
+        cost_model_path=args.cost_model,
+        **server_kwargs,
     )
     host, port = server.address
     log.info(f"repro dist broker listening on {host}:{port}")
@@ -428,6 +444,12 @@ def _cmd_dist_worker(args: argparse.Namespace) -> int:
         prefetch=args.prefetch,
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
+        upload_batch=args.upload_batch,
+        compress_threshold=(
+            int(args.compress_kb * 1024)
+            if args.compress_kb is not None
+            else None
+        ),
     )
     log.info(f"worker exiting after {executed} job(s)")
     return 0
@@ -465,7 +487,22 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
             authkey=args.authkey.encode("utf-8"),
             timeout=args.timeout,
             on_broker_loss=args.on_broker_loss,
+            schedule=args.schedule,
         )
+    if executor is not None and journal is not None:
+        # Warm-start the broker's cost model from the journal: a
+        # resumed (or repeated) run schedules with the runtimes the
+        # first attempt observed.  Advisory only — a missing or stale
+        # file costs predictions, never results.
+        model_path = journal.costmodel_path()
+        if model_path.exists():
+            import json as json_module
+
+            try:
+                with open(model_path) as fh:
+                    executor.cost_seed(json_module.load(fh))
+            except (OSError, ValueError) as exc:
+                log.info(f"# cost model at {model_path} unreadable ({exc})")
 
     def stream(index, block):
         log.info(
@@ -506,6 +543,18 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
                 else ""
             )
         )
+    if executor is not None and journal is not None:
+        # Snapshot the refined model back so the next run (or a
+        # resume after a kill) warm-starts its schedule.
+        import json as json_module
+
+        try:
+            state = executor.cost_snapshot()
+            journal.costmodel_path().write_text(
+                json_module.dumps(state, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            log.info(f"# cost model snapshot failed ({exc})")
     if args.verify_local:
         # The acceptance contract, end to end: the distributed (or
         # pooled) run must merge bitwise-identically to the serial
@@ -568,6 +617,7 @@ def _cmd_dist_chaos(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         workers=args.workers,
         log_dir=args.log_dir,
+        schedule=args.schedule,
     )
     print(report.render())
     if args.json:
@@ -785,6 +835,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-mb", type=float, default=256.0,
         help="bound of the broker's in-memory shared cache store (MiB)",
     )
+    p_serve.add_argument(
+        "--schedule", choices=("fifo", "cost"), default="fifo",
+        help="default dispatch policy: 'fifo' = arrival order, "
+        "'cost' = cost-model longest-predicted-first with sized "
+        "leases (drivers can override per batch)",
+    )
+    p_serve.add_argument(
+        "--lease-target", type=float, default=None,
+        help="predicted seconds of work granted per lease under "
+        "'cost' (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--cost-model", default=None, metavar="PATH",
+        help="persist/warm-start the runtime cost model at this JSON "
+        "path (loaded on start, saved periodically and on shutdown)",
+    )
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_dist_serve)
 
@@ -807,6 +873,16 @@ def build_parser() -> argparse.ArgumentParser:
         "peers)",
     )
     p_worker.add_argument("--poll-interval", type=float, default=0.1)
+    p_worker.add_argument(
+        "--upload-batch", type=int, default=8,
+        help="completions buffered per complete_many() upload RPC "
+        "(1 = legacy one-RPC-per-job wire shape)",
+    )
+    p_worker.add_argument(
+        "--compress-kb", type=float, default=None,
+        help="zlib-compress result envelopes above this size (KiB; "
+        "default: never compress)",
+    )
     p_worker.add_argument(
         "--max-idle", type=float, default=None,
         help="exit after this many seconds without work (default: "
@@ -886,6 +962,13 @@ def build_parser() -> argparse.ArgumentParser:
         "be identical)",
     )
     p_run.add_argument(
+        "--schedule", choices=("fifo", "cost"), default=None,
+        help="fleet dispatch policy: 'cost' = cost-model "
+        "longest-predicted-first with sized leases, 'fifo' = arrival "
+        "order (default: the broker's own policy); by the determinism "
+        "contract this cannot change any result",
+    )
+    p_run.add_argument(
         "--on-broker-loss", choices=("fallback", "fail"),
         default="fallback",
         help="when the broker dies mid-run: 'fallback' finishes the "
@@ -956,6 +1039,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2,
         help="fleet size of the 'dist' mode (the first worker gets "
         "the fault plan)",
+    )
+    p_chaos.add_argument(
+        "--schedule", choices=("fifo", "cost"), default=None,
+        help="dispatch policy of the 'dist' mode (determinism must "
+        "hold under either; default: the broker's own policy)",
     )
     p_chaos.add_argument(
         "--log-dir", default=None, metavar="DIR",

@@ -9,7 +9,12 @@ of worker count, steal order, or worker death mid-job:
 
 * :mod:`repro.dist.queue` — the broker: a work-stealing job queue over
   TCP (stdlib ``multiprocessing.managers``; no new dependencies) with
-  heartbeats, dead-worker reaping and the shared cache store;
+  heartbeats, dead-worker reaping, the shared cache store, the
+  ``schedule="fifo"|"cost"`` dispatch policy and the batched/compressed
+  wire transport;
+* :mod:`repro.dist.costmodel` — :class:`CostModel`, the per-job
+  runtime predictor (bench-seeded, EWMA-refined, JSON-persisted)
+  behind cost scheduling and adaptive lease sizing;
 * :mod:`repro.dist.worker` — the worker loop (``repro dist worker``);
 * :mod:`repro.dist.executor` — :class:`DistExecutor`, the driver-side
   handle that plugs into :class:`~repro.exec.ExecutionContext` behind
@@ -26,6 +31,7 @@ See ``docs/distributed.md`` for the protocol and the contracts, and
 """
 
 from repro.dist.cachetier import CacheTier
+from repro.dist.costmodel import CostModel, job_features
 from repro.dist.executor import DistExecutor
 from repro.dist.fleet import FleetCell, FleetOutcome, build_matrix, run_matrix
 from repro.dist.journal import RunJournal
@@ -37,8 +43,11 @@ from repro.dist.queue import (
     BrokerServer,
     JobFailure,
     JobPayload,
+    WireBlob,
     connect,
     parse_address,
+    wire_pack,
+    wire_unpack,
 )
 from repro.dist.worker import worker_loop
 
@@ -46,6 +55,7 @@ __all__ = [
     "Broker",
     "BrokerServer",
     "CacheTier",
+    "CostModel",
     "DEFAULT_AUTHKEY",
     "DEFAULT_LEASE_TIMEOUT",
     "DEFAULT_PORT",
@@ -55,9 +65,13 @@ __all__ = [
     "JobFailure",
     "JobPayload",
     "RunJournal",
+    "WireBlob",
     "build_matrix",
     "connect",
+    "job_features",
     "parse_address",
     "run_matrix",
+    "wire_pack",
+    "wire_unpack",
     "worker_loop",
 ]

@@ -43,6 +43,7 @@ from multiprocessing.managers import RemoteError
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro import obs
+from repro.dist.costmodel import job_features
 from repro.dist.queue import (
     DEFAULT_AUTHKEY,
     BrokerConnection,
@@ -50,6 +51,8 @@ from repro.dist.queue import (
     JobPayload,
     connect,
     parse_address,
+    wire_pack,
+    wire_unpack,
 )
 from repro.errors import BrokerUnavailableError, ReproError
 from repro.faults import injector as faults
@@ -71,7 +74,27 @@ class DistExecutor:
     authkey:
         Shared secret of the fleet (must match ``repro dist serve``).
     poll_interval:
-        Seconds between result polls while a batch is outstanding.
+        Seconds between result polls while results are flowing.  While
+        the fleet is *quiet* the interval backs off exponentially up
+        to ``poll_max`` and snaps back to ``poll_interval`` on the
+        first result — an idle driver stops hammering ``fetch_ready``
+        without ever going deaf (every poll, backed-off or not, still
+        drives the broker's dead-worker reaping).
+    poll_max:
+        Cap on the backed-off poll interval (default
+        ``max(0.5, poll_interval)``).
+    schedule:
+        Per-batch scheduling policy shipped with every submit:
+        ``"cost"`` orders the batch longest-predicted-first and sizes
+        worker leases from the broker's cost model, ``"fifo"`` forces
+        arrival order, ``None`` (default) defers to the broker's own
+        configured policy.  Scheduling changes *when* jobs run, never
+        what :meth:`map` returns — the merge is by submission index
+        either way.
+    compress_threshold:
+        When set, payload items whose pickle is at least this many
+        bytes ship as zlib wire envelopes (workers apply the same
+        threshold to results); ``None`` (default) disables.
     timeout:
         Optional overall bound per :meth:`map` call; ``None`` waits as
         long as live workers exist (long fleet runs legitimately take
@@ -109,15 +132,30 @@ class DistExecutor:
         retry: RetryPolicy = DEFAULT_RETRY,
         on_broker_loss: str = "fallback",
         fallback_jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
+        compress_threshold: Optional[int] = None,
+        poll_max: Optional[float] = None,
     ) -> None:
         if on_broker_loss not in ("fallback", "fail"):
             raise ReproError(
                 f"on_broker_loss must be 'fallback' or 'fail', got "
                 f"{on_broker_loss!r}"
             )
+        if schedule not in (None, "fifo", "cost"):
+            raise ReproError(
+                f"schedule must be 'fifo', 'cost' or None, got "
+                f"{schedule!r}"
+            )
         self.address = parse_address(address)
         self.authkey = authkey
         self.poll_interval = float(poll_interval)
+        self.poll_max = (
+            float(poll_max)
+            if poll_max is not None
+            else max(0.5, self.poll_interval)
+        )
+        self.schedule = schedule
+        self.compress_threshold = compress_threshold
         self.timeout = timeout
         self.no_worker_grace = float(no_worker_grace)
         self.retry = retry
@@ -212,6 +250,24 @@ class DistExecutor:
         """
         return self._broker().obs_snapshot()
 
+    def cost_snapshot(self) -> dict:
+        """The broker's cost-model state (``CostModel.to_state``).
+
+        Drivers persist this next to their journal so a later fleet
+        warm-starts scheduling with the rates this run observed.
+        """
+        return self._broker().cost_snapshot()
+
+    def cost_seed(self, state: dict) -> bool:
+        """Seed the broker's cost model before submitting.
+
+        Accepts either a prior :meth:`cost_snapshot` state or a
+        ``BENCH_*.json`` pytest-benchmark document; returns whether
+        the broker absorbed anything.  Purely advisory — predictions
+        shape dispatch order and lease sizes, never results.
+        """
+        return self._broker().cost_seed(state)
+
     # -- the map --------------------------------------------------------
 
     def map(
@@ -229,14 +285,23 @@ class DistExecutor:
         ``on_result(index, result)`` fires in index order as the
         completed prefix grows.
         """
-        payloads = [JobPayload(fn, item) for item in items]
+        item_list = list(items)
+        # Scheduler features come from the *raw* items (the broker
+        # never unpacks a compressed payload), packing after.
+        features = [job_features(fn, item) for item in item_list]
+        payloads = [
+            JobPayload(fn, wire_pack(item, self.compress_threshold))
+            for item in item_list
+        ]
         if not payloads:
             return []
         results: List[Any] = []
         try:
             with obs.span("executor.map") as span:
                 span.set("jobs", len(payloads))
-                return self._map_fleet(fn, payloads, results, on_result)
+                return self._map_fleet(
+                    fn, payloads, results, on_result, features
+                )
         except (BrokerUnavailableError, RemoteError) as exc:
             # Broker loss: gone for good, or restarted and no longer
             # knows the batch (a RemoteError also covers a TTL-dropped
@@ -255,6 +320,7 @@ class DistExecutor:
         payloads: List[JobPayload],
         results: List[Any],
         on_result: Optional[Callable[[int, Any], None]],
+        features: Optional[List[dict]] = None,
     ) -> List[Any]:
         """The fleet poll loop; appends to ``results`` as it merges."""
         broker = self._broker()
@@ -262,13 +328,19 @@ class DistExecutor:
 
         def _submit(b):
             faults.fire("executor.submit", batch_id=batch_id)
-            return b.submit(batch_id, payloads)
+            return b.submit(
+                batch_id,
+                payloads,
+                features=features,
+                schedule=self.schedule,
+            )
 
         self._rpc("batch submit", _submit)
         deadline = (
             None if self.timeout is None else time.monotonic() + self.timeout
         )
         last_progress = time.monotonic()
+        delay = self.poll_interval
         try:
             while len(results) < len(payloads):
 
@@ -280,6 +352,7 @@ class DistExecutor:
                     "result fetch", _fetch, none_is_loss=True
                 )
                 for result in ready:
+                    result = wire_unpack(result)
                     if isinstance(result, JobFailure):
                         raise ReproError(
                             f"distributed job {len(results)} failed: "
@@ -313,6 +386,7 @@ class DistExecutor:
                     )
                 if ready:
                     last_progress = now
+                    delay = self.poll_interval  # results flow: poll tight
                     continue  # keep draining while results flow
                 if now - last_progress > self.no_worker_grace:
                     # Stalled: fine while live workers grind a long
@@ -335,7 +409,12 @@ class DistExecutor:
                             f"this broker"
                         )
                     last_progress = now
-                time.sleep(self.poll_interval)
+                # Quiet iteration: back off (capped) so an idle driver
+                # does not hammer fetch_ready; the loop still wakes to
+                # poll — and thereby drive broker reaping and the
+                # deadline/no-worker checks — at least every poll_max.
+                time.sleep(delay)
+                delay = min(delay * 2, self.poll_max)
         finally:
             # Best-effort: if the broker is gone (or already dropped
             # the batch), failing the cleanup RPC must not mask the
@@ -373,7 +452,9 @@ class DistExecutor:
 
         tail = parallel_map(
             fn,
-            [payload.item for payload in payloads[done:]],
+            # Items may sit in compressed wire envelopes; the local
+            # pool wants the originals back.
+            [wire_unpack(payload.item) for payload in payloads[done:]],
             jobs=self.fallback_jobs,
             on_result=_shifted,
         )

@@ -95,6 +95,27 @@ def echo(item: Any) -> Any:
     return item
 
 
+def sleep_block(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Sleep for the payload's ``duration`` — a synthetic fleet cell.
+
+    The makespan benchmark's stand-in for a real cell: runtime is the
+    payload's declared duration, so the payload shape doubles as the
+    scheduler feature source (``scenario`` + ``duration`` are exactly
+    what :func:`repro.dist.costmodel.job_features` reads) and the cost
+    model converges to near-perfect predictions within one pass.
+    Returns a summary echoing the payload identity, so merged results
+    still verify submission order.
+    """
+    import time
+
+    time.sleep(float(payload["duration"]))
+    return {
+        "scenario": payload.get("scenario"),
+        "index": payload.get("index"),
+        "duration": float(payload["duration"]),
+    }
+
+
 @dataclass(frozen=True)
 class BlockOutcome:
     """One replication block of one fleet cell, fully self-describing.

@@ -16,6 +16,13 @@ Queue semantics
   the central queue make prefetched-but-unstarted jobs *stealable*: an
   idle worker whose pull finds the queue empty steals an unstarted
   lease from the most-loaded worker instead of idling.
+  :meth:`Broker.lease_jobs` is the cost-aware superset: under
+  ``schedule="cost"`` the broker *sizes* the lease from predicted
+  runtimes (enough work to amortise the RPC, little enough that steals
+  stay cheap) and may *pin* an all-cheap lease — pre-marking its jobs
+  started so the worker skips the per-job ``start()`` round-trips (a
+  reaped pinned lease is re-enqueued like any other; duplicate
+  completions were already idempotent).
 * **start** — a worker announces it is about to execute a leased job.
   ``False`` means the job was stolen or reassigned in the meantime; the
   worker just skips it (the thief runs it), so no job ever runs twice
@@ -23,7 +30,11 @@ Queue semantics
 * **complete** — stores the result and clears the lease.  Duplicate
   completions (a presumed-dead worker that was merely slow) are
   ignored; jobs are pure, so whichever result landed first is the same
-  bits.
+  bits.  :meth:`Broker.complete_many` is the batched form: workers
+  buffer finished jobs and upload them in one RPC, cutting the per-job
+  round-trip count without changing what is stored (each element lands
+  through the same idempotent path).  Completions carry the worker's
+  measured runtime, which feeds the scheduler's cost model.
 * **heartbeat / reaping** — workers beat while executing; any worker
   whose last beat is older than ``lease_timeout`` is reaped and its
   incomplete leases re-enqueued at the *front* of the queue (oldest
@@ -42,15 +53,18 @@ clock, so multi-host fleets need no cross-host clock agreement.
 from __future__ import annotations
 
 import os
+import pickle
 import socket
 import struct
 import threading
 import time
+import zlib
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from multiprocessing.managers import BaseManager, Server
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.dist.costmodel import CostModel
 from repro.errors import ReproError
 from repro.faults import injector as faults
 from repro.obs.metrics import MetricsRegistry
@@ -71,7 +85,58 @@ DEFAULT_LEASE_TIMEOUT = 10.0
 #: Default bound of the broker-side shared cache store (bytes).
 DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
 
+#: Predicted seconds of work one cost-sized lease aims to hand out:
+#: several poll intervals' worth (so a worker rarely pulls twice per
+#: second of work) yet small enough that a reaped or stolen lease
+#: forfeits well under a second of predicted compute.
+DEFAULT_LEASE_TARGET = 0.5
+
+#: Hard cap on jobs per cost-sized lease, whatever the predictions say
+#: — bounds both the pull RPC's payload bytes and the work a dead
+#: worker's reap re-enqueues.
+LEASE_MAX_JOBS = 32
+
 JobId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class WireBlob:
+    """An opaque compressed envelope for large payloads or results.
+
+    ``data`` is a one-byte tag followed by the body: ``b"z"`` marks a
+    zlib-compressed pickle.  Blobs are packed by whichever side owns
+    the object (driver for payload items, worker for results) and
+    unpacked by the consumer; the broker stores them untouched, so
+    compression changes bytes on the wire, never bytes in a result.
+    """
+
+    data: bytes
+
+
+def wire_pack(obj: Any, threshold: Optional[int]) -> Any:
+    """Envelope ``obj`` if its pickle is at least ``threshold`` bytes.
+
+    ``threshold=None`` (the default everywhere) disables compression:
+    the object passes through untouched and costs nothing.  Below the
+    threshold the original object is returned too — small messages are
+    cheaper to pickle directly than to compress.
+    """
+    if threshold is None or isinstance(obj, WireBlob):
+        return obj
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) < threshold:
+        return obj
+    return WireBlob(b"z" + zlib.compress(blob))
+
+
+def wire_unpack(obj: Any) -> Any:
+    """Undo :func:`wire_pack` (non-envelopes pass through untouched)."""
+    if not isinstance(obj, WireBlob):
+        return obj
+    tag, body = obj.data[:1], obj.data[1:]
+    if tag != b"z":
+        raise ReproError(f"unknown wire envelope tag {tag!r}")
+    return pickle.loads(zlib.decompress(body))
 
 
 def parse_address(address) -> Tuple[str, int]:
@@ -152,12 +217,36 @@ class Broker:
         cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
         clock: Callable[[], float] = time.monotonic,
         batch_ttl: Optional[float] = None,
+        schedule: str = "fifo",
+        lease_target: float = DEFAULT_LEASE_TARGET,
+        cost_model: Optional[CostModel] = None,
+        cost_model_path: Optional[str] = None,
     ) -> None:
         if lease_timeout <= 0:
             raise ReproError(
                 f"lease_timeout must be > 0, got {lease_timeout}"
             )
+        if schedule not in ("fifo", "cost"):
+            raise ReproError(
+                f"schedule must be 'fifo' or 'cost', got {schedule!r}"
+            )
+        if lease_target <= 0:
+            raise ReproError(
+                f"lease_target must be > 0, got {lease_target}"
+            )
         self.lease_timeout = float(lease_timeout)
+        self.schedule = schedule
+        self.lease_target = float(lease_target)
+        # The scheduler's runtime predictor: warm-started from a saved
+        # state when `cost_model_path` exists, refined by every
+        # completion (FIFO mode included — observing is free and makes
+        # the *next* cost-scheduled fleet start warm), and periodically
+        # re-persisted to the same path.
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.cost_model_path = cost_model_path
+        if cost_model_path is not None:
+            self.cost_model.load(cost_model_path)
+        self._unsaved_observations = 0
         # A live driver polls its batch every few hundredths of a
         # second, so a batch unpolled for this long belongs to a dead
         # (or partitioned) driver: drop it, or a long-lived broker
@@ -175,6 +264,14 @@ class Broker:
         self._payloads: Dict[JobId, JobPayload] = {}
         self._leases: Dict[JobId, str] = {}  # job id -> worker id
         self._started: set = set()  # leased jobs whose execution began
+        # Scheduler state: per-job features/predictions (cost batches
+        # only predict; features are kept for every batch that shipped
+        # them, so completions train the model under either policy) and
+        # start times for the runtime fallback when a completion
+        # arrives without a worker-measured runtime.
+        self._features: Dict[JobId, Optional[Dict[str, Any]]] = {}
+        self._predicted: Dict[JobId, float] = {}
+        self._started_at: Dict[JobId, float] = {}
         self._batch_totals: Dict[str, int] = {}
         self._results: Dict[str, Dict[int, Any]] = {}
         self._batch_polled: Dict[str, float] = {}  # batch -> last poll
@@ -194,6 +291,15 @@ class Broker:
         self._c_reaped = self.metrics.counter("broker.reaped_jobs")
         self._c_completed = self.metrics.counter("broker.completed")
         self._c_dropped = self.metrics.counter("broker.dropped_batches")
+        # Scheduler/transport telemetry (the `dist top` rows).
+        self._c_lease_grants = self.metrics.counter("broker.lease_grants")
+        self._c_lease_jobs = self.metrics.counter("broker.lease_jobs")
+        self._c_lease_resize = self.metrics.counter("broker.lease_resize")
+        self._c_pinned_leases = self.metrics.counter("broker.pinned_leases")
+        self._c_batched_uploads = self.metrics.counter(
+            "broker.batched_uploads"
+        )
+        self._c_batched_jobs = self.metrics.counter("broker.batched_jobs")
         self._c_cache_gets = self.metrics.counter("broker.cache.gets")
         self._c_cache_hits = self.metrics.counter("broker.cache.hits")
         self._c_cache_puts = self.metrics.counter("broker.cache.puts")
@@ -207,17 +313,51 @@ class Broker:
 
     # -- queue protocol ------------------------------------------------
 
-    def submit(self, batch_id: str, payloads: List[JobPayload]) -> int:
-        """Register one ordered batch of jobs; returns the batch size."""
+    def submit(
+        self,
+        batch_id: str,
+        payloads: List[JobPayload],
+        features: Optional[List[Optional[Dict[str, Any]]]] = None,
+        schedule: Optional[str] = None,
+    ) -> int:
+        """Register one ordered batch of jobs; returns the batch size.
+
+        ``features`` (parallel to ``payloads``) are the driver-extracted
+        scheduler features — the broker never introspects payloads,
+        which may cross the wire compressed.  ``schedule`` overrides
+        the broker's default policy for this batch; under ``"cost"``
+        the batch is *enqueued* longest-predicted-first (LPT), while
+        job ids, result indices and the driver's merge order stay the
+        submission order — dispatch order is scheduling, not
+        semantics.  Python's sort is stable, so jobs the model cannot
+        tell apart keep their submission order and a cold-start cost
+        batch dispatches exactly like FIFO.
+        """
+        if schedule is not None and schedule not in ("fifo", "cost"):
+            raise ReproError(
+                f"schedule must be 'fifo' or 'cost', got {schedule!r}"
+            )
         with self._lock:
             if batch_id in self._batch_totals:
                 raise ReproError(f"batch {batch_id!r} already submitted")
             self._batch_totals[batch_id] = len(payloads)
             self._results[batch_id] = {}
             self._batch_polled[batch_id] = self._clock()
-            for index, payload in enumerate(payloads):
+            policy = schedule if schedule is not None else self.schedule
+            order = list(range(len(payloads)))
+            if features is not None and len(features) == len(payloads):
+                for index in order:
+                    self._features[(batch_id, index)] = features[index]
+            if policy == "cost":
+                for index in order:
+                    job_id = (batch_id, index)
+                    self._predicted[job_id] = self.cost_model.predict(
+                        self._features.get(job_id)
+                    )
+                order.sort(key=lambda i: -self._predicted[(batch_id, i)])
+            for index in order:
                 job_id = (batch_id, index)
-                self._payloads[job_id] = payload
+                self._payloads[job_id] = payloads[index]
                 self._pending.append(job_id)
             return len(payloads)
 
@@ -240,6 +380,76 @@ class Broker:
                 if stolen is not None:
                     granted.append(stolen)
             return granted
+
+    def lease_jobs(
+        self, worker_id: str, max_jobs: int = 1
+    ) -> Dict[str, Any]:
+        """Cost-aware lease: the broker sizes it, and may pin it.
+
+        Returns ``{"jobs": [(job_id, payload), ...], "pinned": bool}``.
+        For plain FIFO jobs this grants at most ``max_jobs`` — exactly
+        :meth:`pull`.  Jobs carrying a cost prediction are instead
+        granted until their predicted runtimes sum past
+        ``lease_target`` (or :data:`LEASE_MAX_JOBS`): long jobs lease
+        alone, cheap jobs lease in bulk, and either way one pull RPC
+        hands out ≈``lease_target`` seconds of work.
+
+        A lease whose jobs are all predicted-cheap (total ≤
+        ``lease_target``) comes back **pinned**: the broker marks the
+        jobs started here and now, so the worker skips one ``start()``
+        RPC per job.  The trade is deliberate and bounded — pinned
+        jobs are invisible to steals (they read as running), and a
+        worker death re-runs up to one lease_target of work after the
+        reap (re-enqueue and duplicate-completion paths are shared
+        with ``start()``-ed jobs, so the determinism contract is
+        untouched).  Stolen jobs are never pinned: the victim may race
+        the thief, and ``start()`` is the arbiter.
+        """
+        with self._lock:
+            self._beat(worker_id)
+            self._reap()
+            granted: List[Tuple[JobId, JobPayload]] = []
+            predicted_total = 0.0
+            cost_jobs = 0
+            while self._pending and len(granted) < LEASE_MAX_JOBS:
+                job_id = self._pending[0]
+                if job_id not in self._payloads or job_id in self._leases:
+                    self._pending.popleft()
+                    continue  # dropped batch / duplicate re-enqueue
+                predicted = self._predicted.get(job_id)
+                if granted:
+                    if predicted is None:
+                        if len(granted) >= max_jobs:
+                            break
+                    elif predicted_total + predicted > self.lease_target:
+                        break
+                self._pending.popleft()
+                self._leases[job_id] = worker_id
+                granted.append((job_id, self._payloads[job_id]))
+                if predicted is not None:
+                    predicted_total += predicted
+                    cost_jobs += 1
+            pinned = False
+            if granted:
+                self._c_lease_grants.inc()
+                self._c_lease_jobs.inc(len(granted))
+                if cost_jobs and len(granted) != max_jobs:
+                    self._c_lease_resize.inc()
+                if (
+                    cost_jobs == len(granted)
+                    and predicted_total <= self.lease_target
+                ):
+                    pinned = True
+                    self._c_pinned_leases.inc()
+                    now = self._clock()
+                    for job_id, _ in granted:
+                        self._started.add(job_id)
+                        self._started_at.setdefault(job_id, now)
+            else:
+                stolen = self._steal_for(worker_id)
+                if stolen is not None:
+                    granted.append(stolen)
+            return {"jobs": granted, "pinned": pinned}
 
     def _steal_for(
         self, thief: str
@@ -273,6 +483,7 @@ class Broker:
             if self._leases.get(job_id) != worker_id:
                 return False  # stolen, reaped or already completed
             self._started.add(job_id)
+            self._started_at.setdefault(job_id, self._clock())
             return True
 
     def complete(
@@ -281,6 +492,7 @@ class Broker:
         job_id: JobId,
         result: Any,
         metrics: Optional[Dict[str, Any]] = None,
+        runtime: Optional[float] = None,
     ) -> None:
         """Store one job's result (idempotent across duplicate runs).
 
@@ -293,19 +505,106 @@ class Broker:
         increments ``completed`` exactly once; every duplicate returns
         before any counter.  The worker re-registers honestly on its
         next ``pull``.
+
+        ``runtime`` is the worker's measured wall time for the job; it
+        (or, failing that, the broker-clock ``start``→``complete``
+        span) trains the scheduler's cost model.
         """
         with self._lock:
             self._beat(worker_id, register=False)
             if metrics is not None:
                 self._merge_worker_metrics(worker_id, metrics)
-            batch_id, index = job_id
-            job_id = (batch_id, index)
-            results = self._results.get(batch_id)
-            if results is None or index in results:
-                return  # dropped batch, or a duplicate completion
-            results[index] = result
-            self._c_completed.inc()
-            self._forget_job(job_id)
+            self._complete_locked(job_id, result, runtime)
+
+    def complete_many(
+        self,
+        worker_id: str,
+        completions: List[Tuple[JobId, Any, Optional[float]]],
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store a worker's buffered ``(job_id, result, runtime)`` batch.
+
+        One RPC replaces N ``complete()`` round-trips; each element
+        lands through the same idempotent per-job path, so a batch
+        replayed after a reconnect (the worker cannot know whether the
+        first upload landed before the connection died) stores nothing
+        twice.  Partial novelty is fine too: the duplicate elements
+        no-op, the new ones land.
+        """
+        with self._lock:
+            self._beat(worker_id, register=False)
+            if metrics is not None:
+                self._merge_worker_metrics(worker_id, metrics)
+            self._c_batched_uploads.inc()
+            self._c_batched_jobs.inc(len(completions))
+            for job_id, result, runtime in completions:
+                self._complete_locked(job_id, result, runtime)
+
+    def _complete_locked(
+        self, job_id: JobId, result: Any, runtime: Optional[float]
+    ) -> None:
+        """Store one result and train the cost model (lock held)."""
+        batch_id, index = job_id
+        job_id = (batch_id, index)
+        observed = runtime
+        if observed is None and job_id in self._started_at:
+            observed = self._clock() - self._started_at[job_id]
+        results = self._results.get(batch_id)
+        if results is None or index in results:
+            self._forget_job(job_id)  # dropped batch / duplicate
+            return
+        results[index] = result
+        self._c_completed.inc()
+        if observed is not None:
+            self.cost_model.observe(
+                self._features.get(job_id),
+                observed,
+                predicted=self._predicted.get(job_id),
+            )
+            self._maybe_save_cost_model()
+        self._forget_job(job_id)
+
+    def _maybe_save_cost_model(self) -> None:
+        """Persist the model every few observations (lock held).
+
+        Best-effort by design: the model is a scheduling hint, so a
+        read-only or vanished directory must never fail a completion.
+        """
+        if self.cost_model_path is None:
+            return
+        self._unsaved_observations += 1
+        if self._unsaved_observations < 16:
+            return
+        self._unsaved_observations = 0
+        try:
+            self.cost_model.save(self.cost_model_path)
+        except OSError:
+            pass
+
+    def cost_snapshot(self) -> Dict[str, Any]:
+        """The cost model's persistable state (drivers journal it)."""
+        with self._lock:
+            return self.cost_model.to_state()
+
+    def cost_seed(self, state: Dict[str, Any]) -> bool:
+        """Warm-start the model from a driver-supplied state or bench.
+
+        Accepts either a :meth:`CostModel.to_state` snapshot (journaled
+        by a previous ``repro dist run``) or a pytest-benchmark JSON
+        dict (``BENCH_*.json``) to seed scenario priors from.
+        """
+        with self._lock:
+            if isinstance(state, dict) and "benchmarks" in state:
+                return self.cost_model.seed_from_bench(state) > 0
+            return self.cost_model.from_state(state)
+
+    def cost_save(self) -> bool:
+        """Persist the model to ``cost_model_path`` now (if configured)."""
+        with self._lock:
+            if self.cost_model_path is None:
+                return False
+            self.cost_model.save(self.cost_model_path)
+            return True
 
     def heartbeat(
         self,
@@ -362,7 +661,11 @@ class Broker:
     def config(self) -> Dict[str, Any]:
         """Broker parameters workers read at connect time."""
         with self._lock:
-            return {"lease_timeout": self.lease_timeout}
+            return {
+                "lease_timeout": self.lease_timeout,
+                "schedule": self.schedule,
+                "lease_target": self.lease_target,
+            }
 
     def stats(self) -> Dict[str, Any]:
         """Queue diagnostics (tests, the fleet driver's summary line).
@@ -384,6 +687,37 @@ class Broker:
             "steals": self._c_steals.value,
             "reaped_jobs": self._c_reaped.value,
             "dropped_batches": self._c_dropped.value,
+            "schedule": self.schedule,
+            "lease_grants": self._c_lease_grants.value,
+            "lease_jobs": self._c_lease_jobs.value,
+            "lease_resizes": self._c_lease_resize.value,
+            "pinned_leases": self._c_pinned_leases.value,
+            "batched_uploads": self._c_batched_uploads.value,
+            "batched_jobs": self._c_batched_jobs.value,
+        }
+
+    def _scheduler_snapshot_locked(self) -> Dict[str, Any]:
+        """Scheduler/transport telemetry for ``dist top``/``obs dump``.
+
+        Derived from the same counters as :meth:`_stats_locked` under
+        the same lock hold — one metrics path, two renderings.
+        """
+        grants = self._c_lease_grants.value
+        completed = self._c_completed.value
+        batched = self._c_batched_jobs.value
+        return {
+            "schedule": self.schedule,
+            "lease_target": self.lease_target,
+            "cost": self.cost_model.stats(),
+            "mean_lease_size": (
+                self._c_lease_jobs.value / grants if grants else None
+            ),
+            "lease_resizes": self._c_lease_resize.value,
+            "pinned_leases": self._c_pinned_leases.value,
+            "batched_uploads": self._c_batched_uploads.value,
+            "batched_ratio": (
+                min(batched / completed, 1.0) if completed else None
+            ),
         }
 
     def obs_snapshot(self) -> Dict[str, Any]:
@@ -414,6 +748,7 @@ class Broker:
                     )
             return {
                 "queue": self._stats_locked(),
+                "scheduler": self._scheduler_snapshot_locked(),
                 "cache": self._cache_stats_locked(),
                 "workers": workers,
                 "fleet": {"counters": fleet_counters},
@@ -487,6 +822,10 @@ class Broker:
             for job_id in orphaned:
                 del self._leases[job_id]
                 self._started.discard(job_id)
+                # Drop the start timestamp too: the job will run again
+                # elsewhere, and its observed runtime must not include
+                # the dead worker's stall.
+                self._started_at.pop(job_id, None)
             # Front of the queue, oldest index first: a re-enqueued job
             # is picked up before fresh work, bounding its extra delay.
             self._pending.extendleft(reversed(orphaned))
@@ -502,6 +841,9 @@ class Broker:
         self._payloads.pop(job_id, None)
         self._leases.pop(job_id, None)
         self._started.discard(job_id)
+        self._features.pop(job_id, None)
+        self._predicted.pop(job_id, None)
+        self._started_at.pop(job_id, None)
 
     # -- shared cache store --------------------------------------------
 
@@ -663,11 +1005,17 @@ class BrokerServer:
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
         batch_ttl: Optional[float] = None,
+        schedule: str = "fifo",
+        lease_target: float = DEFAULT_LEASE_TARGET,
+        cost_model_path: Optional[str] = None,
     ) -> None:
         self.broker = Broker(
             lease_timeout=lease_timeout,
             cache_max_bytes=cache_max_bytes,
             batch_ttl=batch_ttl,
+            schedule=schedule,
+            lease_target=lease_target,
+            cost_model_path=cost_model_path,
         )
         broker = self.broker
 
@@ -733,6 +1081,14 @@ class BrokerServer:
         the port is immediately rebindable and no thread is left
         spinning — asserted by the shutdown regression tests.
         """
+        # Final cost-model checkpoint: the periodic save only fires
+        # every N observations, and the whole point of persistence is
+        # that the *next* fleet inherits this one's learned rates.
+        if self.broker.cost_model_path is not None:
+            try:
+                self.broker.cost_save()
+            except OSError:
+                pass
         stop_event = getattr(self._server, "stop_event", None)
         if stop_event is not None:
             stop_event.set()

@@ -1,12 +1,21 @@
-"""The worker loop: pull, start, execute, complete — and heartbeat.
+"""The worker loop: lease, start, execute, upload — and heartbeat.
 
 ``repro dist worker HOST:PORT`` runs :func:`worker_loop` in the
-foreground.  The loop leases up to ``prefetch`` jobs per pull (leased
-surplus is what idle peers steal), announces each execution with
-``start`` (a ``False`` answer means the job was stolen — skip it), and
+foreground.  The loop leases jobs via
+:meth:`~repro.dist.queue.Broker.lease_jobs` (the broker sizes the
+lease from its cost model when scheduling is ``cost``; leased surplus
+is what idle peers steal), announces each execution with ``start`` (a
+``False`` answer means the job was stolen — skip it; *pinned* leases
+arrive pre-started and skip the announcement round-trip entirely), and
 ships results (or a :class:`~repro.dist.queue.JobFailure` wrapping the
 exception, with its text bounded by
-:func:`~repro.dist.queue.truncate_failure_text`) back with ``complete``.
+:func:`~repro.dist.queue.truncate_failure_text`) back in batched
+``complete_many`` uploads of up to ``upload_batch`` finished jobs —
+one RPC instead of N, flushed at every lease boundary so results never
+wait on future work.  Each completion carries the job's measured wall
+time, which trains the broker's cost model.  Because completions are
+idempotent broker-side, a flush interrupted by a torn connection is
+simply replayed after the reconnect.
 
 Liveness is a side thread beating over its *own* broker connection
 (manager proxies are not thread-safe across threads), so a worker
@@ -54,6 +63,8 @@ from repro.dist.queue import (
     connect,
     parse_address,
     truncate_failure_text,
+    wire_pack,
+    wire_unpack,
 )
 from repro.exec.cache import ResultCache
 
@@ -79,7 +90,10 @@ def _execute(payload: JobPayload, max_failure_text: int = MAX_FAILURE_TEXT):
     bloat the broker's result store or the driver's logs.
     """
     try:
-        return payload.fn(payload.item)
+        # Large payload items may arrive as compressed wire envelopes
+        # (the driver packs above its threshold); plain items pass
+        # through untouched.
+        return payload.fn(wire_unpack(payload.item))
     except Exception as exc:
         return JobFailure(
             error=truncate_failure_text(repr(exc), max_failure_text),
@@ -179,6 +193,8 @@ def worker_loop(
     worker_id: Optional[str] = None,
     retry: RetryPolicy = DEFAULT_RETRY,
     max_failure_text: int = MAX_FAILURE_TEXT,
+    upload_batch: int = 8,
+    compress_threshold: Optional[int] = None,
 ) -> int:
     """Serve jobs from the broker at ``address`` until told to stop.
 
@@ -190,8 +206,9 @@ def worker_loop(
         Optional local disk tier under the shared cache (a worker
         without one still reads/writes the broker's shared store).
     prefetch:
-        Jobs leased per pull; the surplus beyond the one executing is
-        the stealable margin.
+        Jobs requested per lease; the surplus beyond the one executing
+        is the stealable margin.  Under cost scheduling the broker may
+        resize the grant (see ``Broker.lease_jobs``).
     poll_interval:
         Sleep between empty pulls.
     max_idle:
@@ -204,6 +221,17 @@ def worker_loop(
         loop cleanly).
     max_failure_text:
         Per-field bound on shipped :class:`JobFailure` text.
+    upload_batch:
+        Finished jobs buffered per ``complete_many`` upload; the
+        buffer also flushes at every lease boundary, so a result
+        waits on at most the jobs of its own lease, never on future
+        work.  ``1`` restores the one-``complete()``-per-job wire
+        behaviour (the PR 8 baseline, kept for comparison benches).
+    compress_threshold:
+        When set, results whose pickle is at least this many bytes
+        ship as zlib wire envelopes (``None`` disables — the
+        default; compression trades driver/worker CPU for wire
+        bytes, a win only on real networks with large results).
     """
     faults.install_from_env()
     obs.install_from_env()
@@ -260,6 +288,33 @@ def worker_loop(
     )
     executed = 0
     idle_since: Optional[float] = None
+    # Finished-but-unshipped completions: (job_id, result, runtime).
+    # Broker-side completion is idempotent, so this buffer is safe to
+    # replay wholesale after a reconnect — losing it to a worker death
+    # only re-runs the jobs, it never corrupts a result.
+    outbox: list = []
+
+    def _flush() -> None:
+        """Upload every buffered completion (one RPC when batching)."""
+        if not outbox:
+            return
+        if upload_batch <= 1:
+            # Legacy wire shape: one complete() per job.  Pop as we
+            # go so a mid-flush disconnect replays only the remainder.
+            while outbox:
+                job_id, result, runtime = outbox[0]
+                shipper.ship(
+                    lambda env: broker.complete(
+                        worker_id, job_id, result, env, runtime
+                    )
+                )
+                outbox.pop(0)
+            return
+        batch = list(outbox)
+        shipper.ship(
+            lambda env: broker.complete_many(worker_id, batch, env)
+        )
+        outbox.clear()
 
     def _reconnect() -> bool:
         """Try to re-establish the main connection (broker restart)."""
@@ -286,11 +341,13 @@ def worker_loop(
             if not heartbeat.is_alive():
                 heartbeat = _start_heartbeat()
             try:
-                leased = broker.pull(worker_id, max_jobs=prefetch)
+                lease = broker.lease_jobs(worker_id, max_jobs=prefetch)
             except _BROKER_GONE:
                 if _reconnect():
                     continue
                 break
+            leased = lease["jobs"]
+            pinned = lease["pinned"]
             if not leased:
                 now = time.monotonic()
                 if idle_since is None:
@@ -302,7 +359,10 @@ def worker_loop(
             idle_since = None
             for job_id, payload in leased:
                 try:
-                    if not broker.start(worker_id, job_id):
+                    # Pinned leases were marked started at pull time —
+                    # the broker already guarantees nobody steals them,
+                    # so the per-job announcement round-trip is skipped.
+                    if not pinned and not broker.start(worker_id, job_id):
                         c_skipped.inc()
                         continue  # stolen while leased — the thief runs it
                     faults.fire(
@@ -312,23 +372,42 @@ def worker_loop(
                     )
                     with obs.span("worker.job") as job_span:
                         job_span.set("job", list(job_id))
+                        t0 = time.monotonic()
                         result = _execute(payload, max_failure_text)
+                        runtime = time.monotonic() - t0
                     c_jobs.inc()
                     if isinstance(result, JobFailure):
                         c_failed.inc()
-                    # The result upload carries the metric delta too,
-                    # so a worker that dies right after its last job
-                    # has already shipped that job's counters.
-                    shipper.ship(
-                        lambda env: broker.complete(
-                            worker_id, job_id, result, env
-                        )
-                    )
+                    else:
+                        result = wire_pack(result, compress_threshold)
+                    # Buffered upload: the flush RPC carries the
+                    # metric delta too, so a worker that dies right
+                    # after its last flush has already shipped those
+                    # jobs' counters.
+                    outbox.append((job_id, result, runtime))
                     executed += 1
+                    if len(outbox) >= max(upload_batch, 1):
+                        _flush()
                 except _BROKER_GONE:
-                    if _reconnect():
-                        continue  # the lease was reaped; move on
+                    if not _reconnect():
+                        return executed
+                    try:
+                        _flush()  # idempotent replay of the outbox
+                    except _BROKER_GONE:
+                        pass  # next lease iteration reconnects again
+                    continue  # a reaped lease re-runs elsewhere; move on
+            # Lease boundary: ship whatever the batch threshold left
+            # behind — a completed result must never wait on jobs the
+            # worker has not even leased yet.
+            try:
+                _flush()
+            except _BROKER_GONE:
+                if not _reconnect():
                     return executed
+                try:
+                    _flush()
+                except _BROKER_GONE:
+                    pass
     finally:
         heartbeat.stop()
         dist_jobs.set_active_cache(previous_cache)

@@ -103,6 +103,35 @@ def render_top(
             fleet.get("cachetier.remote_down", 0),
         )
     )
+    scheduler = snapshot.get("scheduler")
+    if scheduler:
+        # Older brokers don't ship this section; the console must keep
+        # rendering their snapshots unchanged.
+        cost = scheduler.get("cost", {})
+        err = cost.get("mean_abs_rel_err")
+        mean_lease = scheduler.get("mean_lease_size")
+        ratio = scheduler.get("batched_ratio")
+        lines.append(
+            "scheduler: %s  pred-err %s  mean-lease %s  resizes %d  "
+            "pinned %d"
+            % (
+                scheduler.get("schedule", "?"),
+                "%.0f%%" % (100.0 * err) if err is not None else "-",
+                "%.1f" % mean_lease if mean_lease is not None else "-",
+                scheduler.get("lease_resizes", 0),
+                scheduler.get("pinned_leases", 0),
+            )
+        )
+        lines.append(
+            "transport: batched uploads %d  jobs/upload %s  "
+            "model obs %d entr %d"
+            % (
+                scheduler.get("batched_uploads", 0),
+                "%.1f" % ratio if ratio is not None else "-",
+                cost.get("observations", 0),
+                cost.get("entries", 0),
+            )
+        )
     lines.append("")
     lines.append(
         "%-22s %6s %8s %8s %8s %9s" % ("WORKER", "STATE", "JOBS", "FAILED", "JOBS/S", "TIER-HIT")

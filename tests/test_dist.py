@@ -748,7 +748,7 @@ class _TricklingBroker:
         self.dropped = False
         self._count = 0
 
-    def submit(self, batch_id, payloads):
+    def submit(self, batch_id, payloads, features=None, schedule=None):
         self.total = len(payloads)
 
     def fetch_ready(self, batch_id, start):
@@ -1029,3 +1029,415 @@ class TestFailureTextBounds:
         from repro.dist.queue import MAX_FAILURE_TEXT
 
         assert 1_000 <= MAX_FAILURE_TEXT <= 1_000_000
+
+
+def _sleepy(item):
+    time.sleep(float(item["duration"]))
+    return item["index"]
+
+
+class TestCostScheduling:
+    """The schedule="cost" policy: LPT dispatch, sized leases, pinning.
+
+    Every test here is about *when* jobs run, never *what* they
+    return — the determinism matrix below pins down that the answers
+    are bitwise the serial ones regardless.
+    """
+
+    def _trained_broker(self, unit_cost=0.1, **kwargs):
+        """A cost-mode broker whose model predicts ``unit_cost``/unit."""
+        kwargs.setdefault("schedule", "cost")
+        broker = Broker(lease_timeout=10.0, **kwargs)
+        for _ in range(10):
+            broker.cost_model.observe({"kind": "echo", "units": 1.0}, unit_cost)
+        return broker
+
+    @staticmethod
+    def _features(units_list):
+        return [{"kind": "echo", "units": float(u)} for u in units_list]
+
+    def test_cost_batch_dispatches_longest_first(self):
+        broker = self._trained_broker()
+        units = [1, 8, 2, 5]
+        broker.submit(
+            "b",
+            [JobPayload(echo, i) for i in range(4)],
+            features=self._features(units),
+            schedule="cost",
+        )
+        order = [
+            broker.pull("w", max_jobs=1)[0][0][1] for _ in range(4)
+        ]
+        assert order == [1, 3, 2, 0]  # indices by descending units
+
+    def test_cold_start_cost_order_equals_fifo(self):
+        # No observations, identical features: predictions tie, the
+        # stable sort keeps submission order — exactly FIFO.
+        broker = Broker(lease_timeout=10.0, schedule="cost")
+        broker.submit(
+            "b",
+            [JobPayload(echo, i) for i in range(5)],
+            features=self._features([1, 1, 1, 1, 1]),
+            schedule="cost",
+        )
+        order = [
+            broker.pull("w", max_jobs=1)[0][0][1] for _ in range(5)
+        ]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_fifo_batches_ignore_the_cost_order(self):
+        broker = self._trained_broker()
+        broker.submit(
+            "b",
+            [JobPayload(echo, i) for i in range(3)],
+            features=self._features([1, 9, 1]),
+            schedule="fifo",
+        )
+        order = [
+            broker.pull("w", max_jobs=1)[0][0][1] for _ in range(3)
+        ]
+        assert order == [0, 1, 2]
+
+    def test_cheap_jobs_lease_in_bulk_and_pinned(self):
+        # unit cost 0.1, lease_target 0.5 -> five 1-unit jobs per lease.
+        broker = self._trained_broker(unit_cost=0.1, lease_target=0.5)
+        broker.submit(
+            "b",
+            [JobPayload(echo, i) for i in range(8)],
+            features=self._features([1] * 8),
+            schedule="cost",
+        )
+        lease = broker.lease_jobs("w1", max_jobs=2)
+        assert len(lease["jobs"]) == 5
+        assert lease["pinned"]
+        stats = broker.stats()
+        assert stats["lease_resizes"] == 1  # granted 5, requested 2
+        assert stats["pinned_leases"] == 1
+        # Pinned jobs read as started: an idle peer cannot steal them.
+        assert broker.pull("w2", max_jobs=1)[0][0][1] == 5
+
+    def test_long_job_leases_alone_unpinned(self):
+        broker = self._trained_broker(unit_cost=0.1, lease_target=0.5)
+        broker.submit(
+            "b",
+            [JobPayload(echo, i) for i in range(3)],
+            features=self._features([50, 1, 1]),
+            schedule="cost",
+        )
+        lease = broker.lease_jobs("w1", max_jobs=4)
+        assert [job_id for job_id, _ in lease["jobs"]] == [("b", 0)]
+        assert not lease["pinned"]  # predicted 5s > target: stealable
+        # Drain the cheap tail to w1 too (it leases pinned), leaving
+        # the long job as the only unstarted lease: a thief CAN take
+        # it, unlike the pinned pair.
+        tail = broker.lease_jobs("w1", max_jobs=4)
+        assert tail["pinned"] and len(tail["jobs"]) == 2
+        assert broker.pull("w2", max_jobs=1)[0][0] == ("b", 0)
+
+    def test_featureless_lease_respects_requested_max_jobs(self):
+        broker = Broker(lease_timeout=10.0)  # fifo, no features
+        broker.submit("b", [JobPayload(echo, i) for i in range(6)])
+        lease = broker.lease_jobs("w1", max_jobs=2)
+        assert len(lease["jobs"]) == 2
+        assert not lease["pinned"]
+        assert broker.stats()["lease_resizes"] == 0
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ReproError):
+            Broker(lease_timeout=10.0, schedule="random")
+        broker = Broker(lease_timeout=10.0)
+        with pytest.raises(ReproError):
+            broker.submit("b", [JobPayload(echo, 0)], schedule="lifo")
+        with pytest.raises(ReproError):
+            Broker(lease_timeout=10.0, lease_target=0.0)
+        with pytest.raises(ReproError):
+            DistExecutor("127.0.0.1:1", schedule="random")
+
+
+class TestBatchedTransport:
+    def test_wire_pack_roundtrip(self):
+        from repro.dist import WireBlob, wire_pack, wire_unpack
+
+        value = {"key": list(range(1000))}
+        packed = wire_pack(value, threshold=16)
+        assert isinstance(packed, WireBlob)
+        assert wire_unpack(packed) == value
+        # Below threshold (or disabled): passthrough, not an envelope.
+        assert wire_pack(7, threshold=16) == 7
+        assert wire_pack(value, threshold=None) is value
+        assert wire_unpack("plain") == "plain"
+
+    def test_wire_unpack_rejects_unknown_tag(self):
+        from repro.dist import WireBlob, wire_unpack
+
+        with pytest.raises(ReproError):
+            wire_unpack(WireBlob(data=b"?garbage"))
+
+    def test_complete_many_is_idempotent_under_replay(self):
+        broker = Broker(lease_timeout=10.0)
+        broker.submit("b", [JobPayload(echo, i) for i in range(3)])
+        leased = broker.lease_jobs("w", max_jobs=3)["jobs"]
+        batch = [
+            (job_id, payload.item, 0.01) for job_id, payload in leased
+        ]
+        broker.complete_many("w", batch)
+        # The reconnect scenario: the worker cannot know whether the
+        # first upload landed, so it replays the whole outbox.
+        broker.complete_many("w", batch)
+        stats = broker.stats()
+        assert stats["completed"] == 3  # each result counted once
+        assert stats["batched_uploads"] == 2
+        assert stats["batched_jobs"] == 6
+        assert broker.fetch_ready("b", 0) == [0, 1, 2]
+
+    def test_worker_ships_batched_uploads(self, server):
+        worker = _start_worker(server.address, upload_batch=4)
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=60
+            )
+            items = list(range(12))
+            assert executor.map(_double, items) == [2 * x for x in items]
+            stats = server.broker.stats()
+            assert stats["batched_uploads"] >= 1
+            assert stats["batched_jobs"] >= len(items)
+        finally:
+            worker.terminate()
+
+    def test_upload_batch_one_keeps_legacy_wire_shape(self, server):
+        worker = _start_worker(server.address, upload_batch=1)
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=60
+            )
+            assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+            assert server.broker.stats()["batched_uploads"] == 0
+        finally:
+            worker.terminate()
+
+    def test_compressed_payloads_and_results_roundtrip(self, server):
+        worker = _start_worker(server.address, compress_threshold=64)
+        try:
+            executor = DistExecutor(
+                server.address,
+                poll_interval=0.02,
+                timeout=60,
+                compress_threshold=64,
+            )
+            items = [{"index": i, "blob": "x" * 4096} for i in range(4)]
+            assert executor.map(echo, items) == items
+        finally:
+            worker.terminate()
+
+
+class TestAdaptivePolling:
+    def _quiet_broker(self, quiet_polls):
+        class _QuietThenDone:
+            """No results for ``quiet_polls`` fetches, then everything."""
+
+            def __init__(self):
+                self.fetches = 0
+                self.total = 0
+
+            def submit(self, batch_id, payloads, features=None,
+                       schedule=None):
+                self.total = len(payloads)
+
+            def fetch_ready(self, batch_id, start):
+                self.fetches += 1
+                if self.fetches <= quiet_polls:
+                    return []
+                return list(range(start, self.total))
+
+            def batch_status(self, batch_id):
+                return (0, self.total)
+
+            def stats(self):
+                return {"workers": 1}
+
+            def drop_batch(self, batch_id):
+                pass
+
+        return _QuietThenDone()
+
+    def test_quiet_polls_back_off_and_progress_resets(self, monkeypatch):
+        from repro.dist import executor as executor_module
+
+        sleeps = []
+        monkeypatch.setattr(
+            executor_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        executor = DistExecutor(
+            "127.0.0.1:1", poll_interval=0.01, poll_max=0.05, timeout=60
+        )
+        fake = self._quiet_broker(quiet_polls=6)
+        _plant_fake_broker(executor, fake)
+        # The fake fabricates results as indices, hence echo over 0..1.
+        assert executor.map(echo, [0, 1]) == [0, 1]
+        # Backoff doubles from poll_interval and saturates at poll_max.
+        assert sleeps == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+        # Every quiet iteration still polled (fetch_ready drives broker
+        # reaping and the deadline checks) — backoff never skips polls.
+        assert fake.fetches == len(sleeps) + 1
+
+    def test_backoff_resets_after_results_flow(self, monkeypatch):
+        from repro.dist import executor as executor_module
+
+        class _QuietBurstQuiet(self._quiet_broker(0).__class__):
+            # 3 quiet polls, one result, 3 more quiet polls, the rest.
+            def fetch_ready(self, batch_id, start):
+                self.fetches += 1
+                if self.fetches in (1, 2, 3, 5, 6, 7):
+                    return []
+                if self.fetches == 4:
+                    return [0] if start == 0 else []
+                return list(range(start, self.total))
+
+        sleeps = []
+        monkeypatch.setattr(
+            executor_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        executor = DistExecutor(
+            "127.0.0.1:1", poll_interval=0.01, poll_max=0.08, timeout=60
+        )
+        fake = _QuietBurstQuiet()
+        _plant_fake_broker(executor, fake)
+        assert executor.map(echo, [0, 1]) == [0, 1]
+        # The delay climbed, snapped back to poll_interval on progress,
+        # then climbed again.
+        assert sleeps == [0.01, 0.02, 0.04, 0.01, 0.02, 0.04]
+
+    def test_poll_max_defaults_sanely(self):
+        assert DistExecutor("127.0.0.1:1").poll_max >= 0.5
+        assert DistExecutor(
+            "127.0.0.1:1", poll_interval=2.0
+        ).poll_max == pytest.approx(2.0)
+
+
+class TestCostModelPersistenceEndToEnd:
+    def test_broker_saves_and_warm_starts_from_path(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        broker = Broker(
+            lease_timeout=10.0, schedule="cost", cost_model_path=str(path)
+        )
+        features = {"kind": "echo", "units": 1.0}
+        broker.submit(
+            "b",
+            [JobPayload(echo, i) for i in range(2)],
+            features=[features, features],
+            schedule="cost",
+        )
+        for job_id, payload in broker.lease_jobs("w", max_jobs=2)["jobs"]:
+            broker.complete("w", job_id, payload.item, runtime=0.2)
+        assert broker.cost_save()
+        assert path.exists()
+        reborn = Broker(
+            lease_timeout=10.0, schedule="cost", cost_model_path=str(path)
+        )
+        assert reborn.cost_model.predict(features) == pytest.approx(
+            broker.cost_model.predict(features)
+        )
+
+    def test_server_stop_persists_the_model(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        server = BrokerServer(
+            port=0,
+            lease_timeout=LEASE_TIMEOUT,
+            schedule="cost",
+            cost_model_path=str(path),
+        ).start_in_thread()
+        server.broker.cost_model.observe(
+            {"kind": "echo", "units": 1.0}, 0.3
+        )
+        server.stop()
+        assert path.exists()
+        model_state = Broker(
+            lease_timeout=10.0, cost_model_path=str(path)
+        ).cost_model
+        assert model_state.observations == 1
+
+    def test_cost_seed_accepts_snapshot_and_bench_json(self):
+        source = Broker(lease_timeout=10.0)
+        source.cost_model.observe({"kind": "echo", "units": 1.0}, 0.7)
+        target = Broker(lease_timeout=10.0)
+        assert target.cost_seed(source.cost_snapshot())
+        assert target.cost_model.predict(
+            {"kind": "echo", "units": 1.0}
+        ) == pytest.approx(0.7)
+        bench_target = Broker(lease_timeout=10.0)
+        assert bench_target.cost_seed(
+            {
+                "benchmarks": [
+                    {
+                        "extra_info": {"scenario": "amba"},
+                        "stats": {"mean": 2.0},
+                    },
+                    {
+                        "extra_info": {"scenario": "netproc"},
+                        "stats": {"mean": 1.0},
+                    },
+                ]
+            }
+        )
+        assert bench_target.cost_model.stats()["priors"] == 2
+
+
+class TestCostDeterminismMatrix:
+    """schedule="cost" cannot change a single bit of any result."""
+
+    MATRIX = dict(budgets=[8, 16], replications=2, duration=100.0)
+
+    @pytest.mark.parametrize("sim_backend", ["batched", "megabatch"])
+    def test_cost_fifo_serial_identical_under_worker_death(
+        self, server, sim_backend
+    ):
+        matrix = dict(self.MATRIX, sim_backend=sim_backend)
+        serial = run_matrix(["single-bus-4"], jobs=1, **matrix)
+        workers = [_start_worker(server.address) for _ in range(2)]
+        killer = threading.Timer(0.4, workers[0].kill)
+        killer.start()
+        try:
+            executor = DistExecutor(
+                server.address, poll_interval=0.02, timeout=240
+            )
+            cost = run_matrix(
+                ["single-bus-4"],
+                executor=executor,
+                schedule="cost",
+                **matrix,
+            )
+            fifo = run_matrix(
+                ["single-bus-4"],
+                executor=executor,
+                schedule="fifo",
+                **matrix,
+            )
+        finally:
+            killer.cancel()
+            for worker in workers:
+                worker.terminate()
+        assert cost.to_jsonable() == serial.to_jsonable()
+        assert fifo.to_jsonable() == serial.to_jsonable()
+
+    def test_cost_schedule_with_steals_matches_serial_map(self, server):
+        # Skewed sleeps + two workers: the second worker drains the
+        # cheap tail (steals or fresh leases) while the first grinds
+        # the long job the LPT order put first.
+        workers = [_start_worker(server.address) for _ in range(2)]
+        try:
+            executor = DistExecutor(
+                server.address,
+                poll_interval=0.02,
+                timeout=60,
+                schedule="cost",
+            )
+            items = [
+                {"index": i, "duration": 0.2 if i == 7 else 0.01}
+                for i in range(8)
+            ]
+            # Warm the model so the cost path actually reorders.
+            executor.map(_sleepy, items)
+            assert executor.map(_sleepy, items) == list(range(8))
+        finally:
+            for worker in workers:
+                worker.terminate()

@@ -295,7 +295,9 @@ class TestBrokerAggregation:
         broker = Broker(lease_timeout=10.0)
         assert set(broker.stats()) == {
             "workers", "pending", "leased", "batches", "completed",
-            "steals", "reaped_jobs", "dropped_batches",
+            "steals", "reaped_jobs", "dropped_batches", "schedule",
+            "lease_grants", "lease_jobs", "lease_resizes",
+            "pinned_leases", "batched_uploads", "batched_jobs",
         }
         assert set(broker.cache_stats()) == {
             "entries", "bytes", "gets", "hits", "puts", "evictions",
@@ -358,7 +360,9 @@ class TestBrokerAggregation:
     def test_obs_snapshot_sections(self):
         broker = Broker(lease_timeout=10.0)
         snap = broker.obs_snapshot()
-        assert set(snap) == {"queue", "cache", "workers", "fleet", "broker"}
+        assert set(snap) == {
+            "queue", "cache", "workers", "fleet", "broker", "scheduler",
+        }
         assert snap["queue"] == broker.stats()
         assert snap["cache"] == broker.cache_stats()
 
