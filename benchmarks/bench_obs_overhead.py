@@ -39,6 +39,59 @@ def _instrumented_loop() -> int:
     return total
 
 
+def _populated_broker():
+    """A broker with every snapshot section lit, as the scraper sees it."""
+    from repro.dist import Broker
+
+    broker = Broker(lease_timeout=60.0)
+    broker.submit("bench", ["p%d" % i for i in range(64)])
+    for worker in ("w1", "w2", "w3", "w4"):
+        for job_id, payload in broker.pull(worker, max_jobs=8):
+            broker.complete(worker, job_id, payload, runtime=0.01)
+        broker.heartbeat(
+            worker,
+            metrics={
+                "counters": {
+                    "worker.jobs": 8,
+                    "cachetier.hits": 4,
+                    "cachetier.misses": 4,
+                    "scenario.replications.erlang": 32,
+                    "scenario.blocks.erlang": 8,
+                },
+                "gauges": {"worker.outbox": 0},
+            },
+        )
+    broker.cache_put("key", b"x" * 128)
+    broker.cache_get("key")
+    return broker
+
+
+def test_bench_obs_scrape(benchmark):
+    """Snapshots rendered to Prometheus text per second (the scrape path).
+
+    One iteration is exactly what one ``GET /metrics`` costs the broker
+    side: ``obs_sample()`` (snapshot + history record) plus
+    ``render_prometheus``.  ``extra_info.snapshots_per_second`` lands in
+    ``BENCH_quick.json`` so a regression in the exposition path (which
+    runs on the broker's box, next to the queue) is caught like any
+    other hot-path slip.
+    """
+    from repro.obs.promexport import render_prometheus
+
+    broker = _populated_broker()
+
+    def _scrape():
+        return render_prometheus(broker.obs_sample())
+
+    text = benchmark(_scrape)
+    assert "repro_queue_completed_total 32" in text
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.group = "obs_scrape"
+        benchmark.extra_info["snapshots_per_second"] = round(
+            1.0 / benchmark.stats["mean"]
+        )
+
+
 @pytest.mark.parametrize("mode", MODES)
 def test_bench_obs_overhead(benchmark, mode):
     """Instrumented ops per second with obs off / metrics / tracing."""

@@ -416,6 +416,44 @@ def _cmd_dist_serve(args: argparse.Namespace) -> int:
     )
     host, port = server.address
     log.info(f"repro dist broker listening on {host}:{port}")
+    http_server = None
+    if args.http is not None:
+        from repro.obs.server import LocalBrokerSource, ObsServer
+
+        http_server = ObsServer(
+            LocalBrokerSource(server.broker),
+            host=args.http_host,
+            port=args.http,
+            interval=args.http_interval,
+        ).start_in_thread()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if http_server is not None:
+            http_server.stop()
+        server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Standalone observability service against a remote broker."""
+    from repro.obs.server import ObsServer, RemoteBrokerSource
+    from repro.retry import RetryPolicy
+
+    source = RemoteBrokerSource(
+        args.broker,
+        authkey=args.authkey.encode("utf-8"),
+        retry=RetryPolicy(attempts=args.retry_attempts),
+    )
+    server = ObsServer(
+        source,
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        stale_after=args.stale_after,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -851,6 +889,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist/warm-start the runtime cost model at this JSON "
         "path (loaded on start, saved periodically and on shutdown)",
     )
+    p_serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="also serve the HTTP observability service on this port "
+        "(/healthz, /snapshot, /metrics, /events, and the live "
+        "dashboard at /) next to the broker",
+    )
+    p_serve.add_argument(
+        "--http-host", default="127.0.0.1",
+        help="bind address of the --http service",
+    )
+    p_serve.add_argument(
+        "--http-interval", type=float, default=2.0,
+        help="snapshot sampling cadence of the --http service (seconds)",
+    )
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=_cmd_dist_serve)
 
@@ -1055,6 +1107,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_dist_chaos)
+
+    p_http = sub.add_parser(
+        "serve",
+        help="standalone HTTP observability service scraping a remote "
+        "broker (/healthz, /snapshot, /metrics, /events, live "
+        "dashboard at /)",
+    )
+    p_http.add_argument(
+        "--broker", required=True, metavar="HOST:PORT",
+        help="broker whose fleet telemetry to serve",
+    )
+    p_http.add_argument("--authkey", default="repro-dist")
+    p_http.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind address"
+    )
+    p_http.add_argument(
+        "--port", type=int, default=8080,
+        help="HTTP port (0 = ephemeral)",
+    )
+    p_http.add_argument(
+        "--interval", type=float, default=2.0,
+        help="broker sampling cadence (seconds); also the SSE cadence",
+    )
+    p_http.add_argument(
+        "--stale-after", type=float, default=None,
+        help="mark served data stale after this many seconds without "
+        "a successful sample (default: 3x --interval); the service "
+        "keeps serving the last snapshot and recovers on its own",
+    )
+    p_http.add_argument(
+        "--retry-attempts", type=int, default=4,
+        help="retry attempts per broker sample before degrading to "
+        "stale mode",
+    )
+    p_http.set_defaults(func=_cmd_serve)
 
     p_obs = sub.add_parser(
         "obs", help="observability: telemetry snapshots"

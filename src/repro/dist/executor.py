@@ -228,18 +228,28 @@ class DistExecutor:
             return self.retry.call(attempt, describe=describe)
         except _BROKER_GONE as exc:
             raise BrokerUnavailableError(
-                f"broker at {self.address[0]}:{self.address[1]} "
-                f"unreachable during {describe} after "
+                f"cannot connect to broker at {self.address[0]}:"
+                f"{self.address[1]} for {describe} after "
                 f"{self.retry.attempts} attempt(s): {exc!r}"
             ) from exc
 
     def stats(self) -> dict:
-        """Queue diagnostics of the connected broker."""
-        return self._broker().stats()
+        """Queue diagnostics of the connected broker.
+
+        Retry-wrapped like every other RPC (a one-shot ``repro obs
+        dump --dist`` or ``dist top`` refresh must survive the same
+        transient refusals the map loop already shrugs off); exhausted
+        retries raise :class:`BrokerUnavailableError`.
+        """
+        return self._rpc(
+            "broker stats", lambda b: b.stats(), none_is_loss=True
+        )
 
     def cache_stats(self) -> dict:
         """Shared-cache-store diagnostics of the connected broker."""
-        return self._broker().cache_stats()
+        return self._rpc(
+            "cache stats", lambda b: b.cache_stats(), none_is_loss=True
+        )
 
     def obs_snapshot(self) -> dict:
         """The broker's consistent fleet telemetry view (one RPC).
@@ -248,7 +258,27 @@ class DistExecutor:
         counter totals, all read under one broker lock hold — what
         ``repro dist top`` and ``repro obs dump --dist`` render.
         """
-        return self._broker().obs_snapshot()
+        return self._rpc(
+            "obs snapshot", lambda b: b.obs_snapshot(), none_is_loss=True
+        )
+
+    def obs_sample(self) -> dict:
+        """One snapshot, recorded into the broker's history ring.
+
+        The HTTP service's sampling RPC: the returned snapshot carries
+        the ring-stamped ``seq``, so SSE clients can resume from it.
+        """
+        return self._rpc(
+            "obs sample", lambda b: b.obs_sample(), none_is_loss=True
+        )
+
+    def obs_history(self, since: int = 0, limit: Optional[int] = None):
+        """Ring-recorded snapshots with ``seq`` greater than ``since``."""
+        return self._rpc(
+            "obs history",
+            lambda b: b.obs_history(since, limit),
+            none_is_loss=True,
+        )
 
     def cost_snapshot(self) -> dict:
         """The broker's cost-model state (``CostModel.to_state``).
@@ -256,7 +286,9 @@ class DistExecutor:
         Drivers persist this next to their journal so a later fleet
         warm-starts scheduling with the rates this run observed.
         """
-        return self._broker().cost_snapshot()
+        return self._rpc(
+            "cost snapshot", lambda b: b.cost_snapshot(), none_is_loss=True
+        )
 
     def cost_seed(self, state: dict) -> bool:
         """Seed the broker's cost model before submitting.
@@ -266,7 +298,7 @@ class DistExecutor:
         the broker absorbed anything.  Purely advisory — predictions
         shape dispatch order and lease sizes, never results.
         """
-        return self._broker().cost_seed(state)
+        return self._rpc("cost seed", lambda b: b.cost_seed(state))
 
     # -- the map --------------------------------------------------------
 

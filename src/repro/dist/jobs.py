@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro import scenarios
+from repro import obs, scenarios
 from repro.exec import ExecutionContext
 from repro.exec.cache import entry_key
 
@@ -196,6 +196,15 @@ def run_block(payload: Dict[str, Any]) -> BlockOutcome:
             )
             for r in range(payload["start"], payload["stop"])
         ]
+    # Scenario-labeled fleet telemetry: shipped to the broker with the
+    # worker's other counters, split out by the Prometheus exposition
+    # as repro_fleet_scenario_*_total{scenario=...}.  Counters only —
+    # a disabled registry hands back shared no-op stubs, so the
+    # zero-overhead contract holds.
+    obs.counter("scenario.blocks.%s" % spec.name).inc()
+    obs.counter("scenario.replications.%s" % spec.name).inc(
+        int(payload["stop"]) - int(payload["start"])
+    )
     return BlockOutcome(
         scenario=spec.name,
         budget=int(payload["budget"]),

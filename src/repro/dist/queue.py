@@ -67,6 +67,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.dist.costmodel import CostModel
 from repro.errors import ReproError
 from repro.faults import injector as faults
+from repro.obs.history import SnapshotHistory
 from repro.obs.metrics import MetricsRegistry
 
 #: Shared-secret default for the manager handshake.  Every process of a
@@ -84,6 +85,11 @@ DEFAULT_LEASE_TIMEOUT = 10.0
 
 #: Default bound of the broker-side shared cache store (bytes).
 DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Snapshots the broker-side :class:`~repro.obs.history.SnapshotHistory`
+#: ring retains for SSE backfill — at the HTTP service's default 2s
+#: sampling cadence this is ~17 minutes of history in a few MB.
+DEFAULT_HISTORY_CAPACITY = 512
 
 #: Predicted seconds of work one cost-sized lease aims to hand out:
 #: several poll intervals' worth (so a worker rarely pulls twice per
@@ -221,6 +227,7 @@ class Broker:
         lease_target: float = DEFAULT_LEASE_TARGET,
         cost_model: Optional[CostModel] = None,
         cost_model_path: Optional[str] = None,
+        history_capacity: int = DEFAULT_HISTORY_CAPACITY,
     ) -> None:
         if lease_timeout <= 0:
             raise ReproError(
@@ -306,6 +313,13 @@ class Broker:
         self._c_cache_evictions = self.metrics.counter(
             "broker.cache.evictions"
         )
+        # Completion latency distribution (worker-measured runtimes,
+        # broker-clock fallback) — the `dist top` latency row and the
+        # /metrics summary quantiles.
+        self._h_runtime = self.metrics.histogram("broker.job_runtime_seconds")
+        # Sampled-snapshot ring: obs_sample() records here so SSE
+        # clients reconnecting mid-stream can backfill what they missed.
+        self.history = SnapshotHistory(history_capacity)
         # Fleet telemetry: per-worker metric deltas shipped on
         # heartbeats/completions.  Reaped workers keep their totals
         # (marked dead) so fleet sums stay correct across deaths.
@@ -556,6 +570,7 @@ class Broker:
         results[index] = result
         self._c_completed.inc()
         if observed is not None:
+            self._h_runtime.observe(observed)
             self.cost_model.observe(
                 self._features.get(job_id),
                 observed,
@@ -753,7 +768,32 @@ class Broker:
                 "workers": workers,
                 "fleet": {"counters": fleet_counters},
                 "broker": self.metrics.snapshot(),
+                # Both clocks, deliberately: "monotonic" is the broker's
+                # lease/heartbeat clock, so consumers compute worker
+                # staleness (now - last_beat) without cross-host clock
+                # agreement; "wall" lets a scraper date the sample.
+                "time": {
+                    "monotonic": self._clock(),
+                    "wall": time.time(),
+                },
             }
+
+    def obs_sample(self) -> Dict[str, Any]:
+        """One :meth:`obs_snapshot`, recorded into the history ring.
+
+        The returned snapshot carries the ``seq`` stamped by the ring,
+        so an HTTP client can later resume the SSE stream from exactly
+        this sample via :meth:`obs_history`.
+        """
+        snapshot = self.obs_snapshot()
+        self.history.record(snapshot)
+        return snapshot
+
+    def obs_history(
+        self, since: int = 0, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Recorded samples with ``seq`` greater than ``since``."""
+        return self.history.since(since, limit)
 
     # -- internals (call with the lock held) ---------------------------
 

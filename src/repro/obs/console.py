@@ -9,6 +9,7 @@ clear-screen codes — no curses dependency, works in any VT100 terminal.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional
 
 __all__ = ["render_top", "CLEAR_SCREEN"]
@@ -32,32 +33,57 @@ def _fmt_bytes(n: float) -> str:
     return "%.1fGiB" % n
 
 
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1.0:
+        return "%.0fms" % (seconds * 1000.0)
+    if seconds < 120.0:
+        return "%.1fs" % seconds
+    return "%.0fm" % (seconds / 60.0)
+
+
 def render_top(
     snapshot: Dict[str, Any],
     previous: Optional[Dict[str, Any]] = None,
     interval: Optional[float] = None,
+    now_wall: Optional[float] = None,
 ) -> str:
     """Render one console frame from a broker ``obs_snapshot()``.
 
     ``previous`` (the prior frame's snapshot) and ``interval`` (seconds
     between them) turn cumulative per-worker job counts into live
     throughput columns; without them the rate column shows ``-``.
+    ``now_wall`` pins "now" for the snapshot-age header (tests);
+    default is the actual wall clock.
     """
     queue = snapshot.get("queue", {})
     cache = snapshot.get("cache", {})
     workers: Dict[str, Any] = snapshot.get("workers", {})
     fleet = snapshot.get("fleet", {}).get("counters", {})
+    snap_time = snapshot.get("time", {})
+
+    # Data age: how stale is the frame being looked at?  Computed from
+    # the broker's wall stamp, so a console left on a dead connection
+    # (or fed a cached snapshot) says so instead of posing as live.
+    age_text = ""
+    if "wall" in snap_time:
+        age = max(
+            (now_wall if now_wall is not None else time.time())
+            - snap_time["wall"],
+            0.0,
+        )
+        age_text = "  age %s" % _fmt_seconds(age)
 
     lines: List[str] = []
     lines.append(
         "repro dist top — workers %d  pending %d  leased %d  "
-        "batches %d  completed %d"
+        "batches %d  completed %d%s"
         % (
             queue.get("workers", 0),
             queue.get("pending", 0),
             queue.get("leased", 0),
             queue.get("batches", 0),
             queue.get("completed", 0),
+            age_text,
         )
     )
     lines.append(
@@ -132,19 +158,35 @@ def render_top(
                 cost.get("entries", 0),
             )
         )
+    runtime = (
+        snapshot.get("broker", {})
+        .get("histograms", {})
+        .get("broker.job_runtime_seconds")
+    )
+    if runtime and runtime.get("count"):
+        lines.append(
+            "latency: job runtime p50 %s  p95 %s  p99 %s  (n=%d)"
+            % (
+                _fmt_seconds(runtime.get("p50", 0.0)),
+                _fmt_seconds(runtime.get("p95", 0.0)),
+                _fmt_seconds(runtime.get("p99", 0.0)),
+                runtime["count"],
+            )
+        )
     lines.append("")
     lines.append(
-        "%-22s %6s %8s %8s %8s %9s" % ("WORKER", "STATE", "JOBS", "FAILED", "JOBS/S", "TIER-HIT")
+        "%-22s %9s %8s %8s %8s %9s" % ("WORKER", "STATE", "JOBS", "FAILED", "JOBS/S", "TIER-HIT")
     )
 
     prev_workers: Dict[str, Any] = (previous or {}).get("workers", {})
     for worker_id in sorted(workers):
         info = workers[worker_id]
+        alive = info.get("alive", False)
         counters = info.get("counters", {})
         jobs = counters.get("worker.jobs", 0)
         failed = counters.get("worker.jobs_failed", 0)
         rate = "-"
-        if interval and worker_id in prev_workers:
+        if alive and interval and worker_id in prev_workers:
             prev_jobs = prev_workers[worker_id].get("counters", {}).get(
                 "worker.jobs", 0
             )
@@ -158,11 +200,24 @@ def render_top(
             "hits",
             "gets",
         )
+        # A reaped worker's totals stay (fleet sums must not shrink)
+        # but its row must read as history, not telemetry: the state
+        # carries how long ago it last beat (broker clock vs the
+        # snapshot's own stamp) and the rate column never shows a
+        # live-looking number.
+        state = "up"
+        if not alive:
+            beat = info.get("last_beat")
+            mono = snap_time.get("monotonic")
+            if beat is not None and mono is not None:
+                state = "gone %s" % _fmt_seconds(max(mono - beat, 0.0))
+            else:
+                state = "gone"
         lines.append(
-            "%-22s %6s %8d %8d %8s %9s"
+            "%-22s %9s %8d %8d %8s %9s"
             % (
                 worker_id[:22],
-                "up" if info.get("alive", False) else "gone",
+                state,
                 jobs,
                 failed,
                 rate,

@@ -1,0 +1,111 @@
+"""Bounded ring of fleet snapshots — backfill for reconnecting clients.
+
+The broker records every :meth:`~repro.dist.queue.Broker.obs_sample`
+into a :class:`SnapshotHistory`; the HTTP service (and any SSE client
+that reconnects with a ``Last-Event-ID``) replays the tail it missed
+via :meth:`SnapshotHistory.since`.  The ring is deliberately small and
+value-only: snapshots are plain dicts already built for the wire, and
+capacity bounds memory no matter how long a fleet runs.
+
+The module is standalone on purpose — it must be importable from
+``repro.dist.queue`` without dragging in the obs facade (which would
+create an import cycle through the console/export helpers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SnapshotHistory", "counter_deltas"]
+
+
+class SnapshotHistory:
+    """A thread-safe bounded ring of sequence-stamped snapshots.
+
+    :meth:`record` stamps each snapshot with a monotonically increasing
+    ``seq`` (starting at 1) and appends it, evicting the oldest entry
+    past ``capacity``.  ``seq`` is the SSE event id: a client that saw
+    event ``N`` asks for ``since(N)`` and receives exactly the entries
+    it missed (or the whole ring, if it fell further behind than the
+    ring remembers).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("history capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(self, snapshot: Dict[str, Any]) -> int:
+        """Stamp ``snapshot["seq"]`` and append; returns the seq."""
+        with self._lock:
+            self._seq += 1
+            snapshot["seq"] = self._seq
+            self._ring.append(snapshot)
+            return self._seq
+
+    def since(
+        self, seq: int = 0, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Entries with ``seq`` strictly greater than the given seq."""
+        with self._lock:
+            entries = [s for s in self._ring if s["seq"] > seq]
+        if limit is not None and len(entries) > limit:
+            entries = entries[-limit:]
+        return entries
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    @property
+    def recorded(self) -> int:
+        """Total snapshots ever recorded (not just those retained)."""
+        with self._lock:
+            return self._seq
+
+
+#: Snapshot sections whose numeric leaves are cumulative counts worth
+#: diffing for an SSE delta payload.  Gauges (pending, depth, rates)
+#: are levels, not counts — clients read those from the snapshot
+#: itself.
+_DELTA_SECTIONS = (
+    ("queue",),
+    ("cache",),
+    ("fleet", "counters"),
+)
+
+
+def counter_deltas(
+    previous: Optional[Dict[str, Any]], current: Dict[str, Any]
+) -> Dict[str, float]:
+    """Flat ``section.name -> increase`` between two fleet snapshots.
+
+    Only positive movement is reported: a key that shrank (a worker
+    reaped, a registry reset) is simply absent, so consumers summing
+    deltas never see fleet totals go backwards.
+    """
+    deltas: Dict[str, float] = {}
+    for path in _DELTA_SECTIONS:
+        cur: Any = current
+        prev: Any = previous
+        for key in path:
+            cur = cur.get(key, {}) if isinstance(cur, dict) else {}
+            prev = prev.get(key, {}) if isinstance(prev, dict) else {}
+        if not isinstance(cur, dict):
+            continue
+        prefix = ".".join(path)
+        for name, value in cur.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            before = prev.get(name, 0) if isinstance(prev, dict) else 0
+            if not isinstance(before, (int, float)) or isinstance(before, bool):
+                before = 0
+            change = value - before
+            if change > 0:
+                deltas["%s.%s" % (prefix, name)] = change
+    return deltas

@@ -18,6 +18,7 @@ merged on the broker under its queue lock (see
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Dict, Optional
 
@@ -29,6 +30,7 @@ __all__ = [
     "NOOP_COUNTER",
     "NOOP_GAUGE",
     "NOOP_HISTOGRAM",
+    "QUANTILES",
 ]
 
 
@@ -58,15 +60,28 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """Streaming count/sum/min/max of an observed quantity.
+#: Log-bucket width: four buckets per factor of two (each bucket spans
+#: a ratio of 2**0.25 ~ 1.19), so a quantile estimate is within ~9% of
+#: the true value — plenty for latency summaries, at the cost of one
+#: small int dict per histogram.
+_BUCKET_LOG = math.log(2.0) / 4.0
 
-    Deliberately bucket-free: the runtime's histograms (fixed-point
-    iteration counts, span durations) are summarised, not plotted, and
-    four scalars keep the snapshot wire format trivial.
+#: Streaming quantiles every snapshot/exposition surface reports.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Histogram:
+    """Streaming count/sum/min/max plus log-bucket quantiles.
+
+    Observations land in geometric buckets (``2**0.25`` wide), so
+    :meth:`quantile` answers p50/p95/p99 with bounded relative error
+    from a dict that grows with the observed *range*, not the count —
+    a histogram spanning nanoseconds to hours holds ~170 buckets.
+    Snapshots stay plain scalars: quantiles are computed at snapshot
+    time, never shipped as raw buckets.
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max")
+    __slots__ = ("name", "count", "sum", "min", "max", "_buckets", "_low")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -74,6 +89,8 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+        self._low = 0  # observations <= 0 (no log bucket exists)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -82,9 +99,53 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value > 0.0:
+            index = int(math.log(value) // _BUCKET_LOG)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        else:
+            self._low += 1
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from buckets.
+
+        Returns the geometric midpoint of the bucket holding the
+        ``q``-th observation, clamped to the exact observed
+        ``[min, max]`` so the extremes are always honest.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = self._low
+        if seen >= rank and self._low:
+            # The quantile falls among the <= 0 observations.
+            return min(self.min or 0.0, 0.0)
+        value = self.max if self.max is not None else 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                value = math.exp((index + 0.5) * _BUCKET_LOG)
+                break
+        if self.max is not None:
+            value = min(value, self.max)
+        if self.min is not None:
+            value = max(value, self.min)
+        return value
+
+    def summary(self) -> Dict[str, float]:
+        """The snapshot dict: scalars plus p50/p95/p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            **{
+                "p%g" % (100 * q): self.quantile(q)
+                for q in QUANTILES
+            },
+        }
 
 
 class _NoopCounter:
@@ -190,12 +251,7 @@ class MetricsRegistry:
                     name: g.value for name, g in self._gauges.items()
                 },
                 "histograms": {
-                    name: {
-                        "count": h.count,
-                        "sum": h.sum,
-                        "min": h.min,
-                        "max": h.max,
-                    }
+                    name: h.summary()
                     for name, h in self._histograms.items()
                 },
             }

@@ -100,10 +100,39 @@ class TestMetrics:
         assert snap["counters"] == {"c": 2}
         assert snap["gauges"] == {"g": 1.0}
         assert snap["histograms"]["h"] == {
-            "count": 1, "sum": 7.0, "min": 7.0, "max": 7.0
+            "count": 1, "sum": 7.0, "min": 7.0, "max": 7.0,
+            "p50": 7.0, "p95": 7.0, "p99": 7.0,
         }
         assert registry.counters_snapshot() == {"c": 2}
         assert registry.gauges_snapshot() == {"g": 1.0}
+
+    def test_histogram_quantiles_log_buckets(self):
+        hist = MetricsRegistry(enabled=True).histogram("h")
+        for value in range(1, 1001):  # 1..1000, uniform
+            hist.observe(float(value))
+        # Log buckets are ~19% wide, so estimates land within ~10%.
+        assert hist.quantile(0.5) == pytest.approx(500.0, rel=0.11)
+        assert hist.quantile(0.95) == pytest.approx(950.0, rel=0.11)
+        assert hist.quantile(0.99) == pytest.approx(990.0, rel=0.11)
+        # Extremes are clamped to the exact observed range.
+        assert hist.quantile(0.0) >= hist.min
+        assert hist.quantile(1.0) <= hist.max
+
+    def test_histogram_quantiles_edge_cases(self):
+        registry = MetricsRegistry(enabled=True)
+        empty = registry.histogram("empty")
+        assert empty.quantile(0.5) == 0.0
+        zeros = registry.histogram("zeros")
+        for value in (0.0, 0.0, 5.0):
+            zeros.observe(value)
+        # Two thirds of the mass sits at <= 0: p50 reports it honestly.
+        assert zeros.quantile(0.5) == 0.0
+        assert zeros.quantile(0.99) == 5.0
+        wide = registry.histogram("wide")
+        for value in (1e-9, 1.0, 1e6):
+            wide.observe(value)
+        assert wide.quantile(0.01) == pytest.approx(1e-9, rel=0.2)
+        assert wide.quantile(0.99) == pytest.approx(1e6, rel=0.2)
 
     def test_module_level_enable_disable(self):
         assert not obs.metrics_enabled()
@@ -362,9 +391,33 @@ class TestBrokerAggregation:
         snap = broker.obs_snapshot()
         assert set(snap) == {
             "queue", "cache", "workers", "fleet", "broker", "scheduler",
+            "time",
         }
         assert snap["queue"] == broker.stats()
         assert snap["cache"] == broker.cache_stats()
+        assert set(snap["time"]) == {"monotonic", "wall"}
+
+    def test_obs_sample_records_into_history_ring(self):
+        broker = Broker(lease_timeout=10.0)
+        first = broker.obs_sample()
+        second = broker.obs_sample()
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert [s["seq"] for s in broker.obs_history()] == [1, 2]
+        assert [s["seq"] for s in broker.obs_history(since=1)] == [2]
+        assert broker.obs_history(since=2) == []
+
+    def test_completion_runtime_feeds_latency_histogram(self):
+        clock = _FakeClock()
+        broker = Broker(lease_timeout=10.0, clock=clock)
+        broker.submit("b", [JobPayload(echo, 0)])
+        (job_id, payload), = broker.pull("w1", max_jobs=1)
+        broker.start("w1", job_id)
+        broker.complete("w1", job_id, 0, runtime=0.25)
+        hist = broker.obs_snapshot()["broker"]["histograms"][
+            "broker.job_runtime_seconds"
+        ]
+        assert hist["count"] == 1
+        assert hist["p50"] == pytest.approx(0.25, rel=0.1)
 
 
 class TestMetricsShipper:
@@ -434,6 +487,23 @@ class TestConsole:
         "fleet": {"counters": {"worker.jobs": 7, "faults.injected": 2}},
     }
 
+    STAMPED = dict(
+        SNAPSHOT,
+        time={"monotonic": 100.0, "wall": 1000.0},
+        workers={
+            "w1": dict(SNAPSHOT["workers"]["w1"], last_beat=99.5),
+            "w2": dict(SNAPSHOT["workers"]["w2"], last_beat=58.0),
+        },
+        broker={
+            "histograms": {
+                "broker.job_runtime_seconds": {
+                    "count": 12, "sum": 3.0, "min": 0.1, "max": 0.9,
+                    "p50": 0.2, "p95": 0.7, "p99": 0.85,
+                }
+            }
+        },
+    )
+
     def test_render_top_is_a_pure_text_frame(self):
         frame = render_top(self.SNAPSHOT)
         assert "workers 2  pending 1  leased 2" in frame
@@ -462,6 +532,42 @@ class TestConsole:
     def test_render_top_empty_fleet(self):
         frame = render_top({})
         assert "no workers have reported metrics" in frame
+
+    def test_render_top_shows_snapshot_age(self):
+        frame = render_top(self.STAMPED, now_wall=1003.5)
+        assert "age 3.5s" in frame
+        # An unstamped snapshot (older broker) has no age to show.
+        assert "age" not in render_top(self.SNAPSHOT).splitlines()[0]
+
+    def test_render_top_marks_dead_workers_stale(self):
+        previous = {
+            "workers": {
+                worker: {"alive": True, "counters": {"worker.jobs": 1}}
+                for worker in ("w1", "w2")
+            }
+        }
+        frame = render_top(
+            self.STAMPED, previous=previous, interval=2.0, now_wall=1000.0
+        )
+        w1_line = next(
+            l for l in frame.splitlines() if l.startswith("w1")
+        )
+        w2_line = next(
+            l for l in frame.splitlines() if l.startswith("w2")
+        )
+        # Live worker: rate computed; dead worker: marked gone with its
+        # last-beat age (broker clock) and never a live-looking rate.
+        assert "2.00" in w1_line
+        assert "gone 42.0s" in w2_line
+        assert "0.50" not in w2_line  # (2 - 1) / 2.0 must NOT render
+
+    def test_render_top_latency_row_from_histogram(self):
+        frame = render_top(self.STAMPED, now_wall=1000.0)
+        assert (
+            "latency: job runtime p50 200ms  p95 700ms  p99 850ms  "
+            "(n=12)" in frame
+        )
+        assert "latency:" not in render_top(self.SNAPSHOT)
 
 
 class TestCli:
